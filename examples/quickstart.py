@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build the default agile co-processor and run functions on demand.
+
+This is the smallest end-to-end tour of the library:
+
+1. build the default card (full function bank, bit-streams generated,
+   compressed and downloaded into the on-card ROM);
+2. execute a few functions on demand — the first call to each function pays
+   the partial-reconfiguration cost, repeats are hits;
+3. look at what is resident on the fabric and at the accumulated statistics.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_default_coprocessor
+from repro.sim.clock import format_time
+
+
+def main() -> None:
+    print("Building the default agile algorithm-on-demand co-processor ...")
+    coprocessor = build_default_coprocessor(seed=2005)
+    print(coprocessor.describe())
+    print()
+
+    # ----------------------------------------------------------- on demand
+    requests = [
+        ("crc32", b"hello, agile co-processor"),
+        ("sha256", b"the quick brown fox jumps over the lazy dog"),
+        ("aes128", bytes(range(16))),
+        ("crc32", b"hello again"),          # crc32 is still resident: a hit
+        ("adder8", bytes([200, 55])),        # a netlist-backed function
+    ]
+    print(f"{'function':<10} {'hit':<5} {'latency':<12} output")
+    print("-" * 60)
+    for name, data in requests:
+        result = coprocessor.execute(name, data)
+        output_preview = result.output[:8].hex() + ("..." if len(result.output) > 8 else "")
+        print(
+            f"{name:<10} {'yes' if result.hit else 'no':<5} "
+            f"{format_time(result.latency_ns):<12} {output_preview}"
+        )
+    print()
+
+    # ------------------------------------------------------------ residency
+    print("Functions resident on the fabric:", ", ".join(coprocessor.loaded_functions()))
+    print(f"Fabric utilisation: {coprocessor.device.utilisation():.1%}")
+    print()
+
+    # ------------------------------------------------------------ statistics
+    print("Accumulated statistics")
+    print(coprocessor.stats.describe())
+    print()
+    print("Where did the time go on the last request?")
+    last = coprocessor.mcu.outcomes[-1]
+    for phase, nanoseconds in last.breakdown().items():
+        print(f"  {phase:<12} {format_time(nanoseconds)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so the package can be installed editable (``pip install -e . --no-use-pep517``)
+on machines without the ``wheel`` package or network access; all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

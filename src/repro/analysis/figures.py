@@ -1,0 +1,85 @@
+"""ASCII charts for trends the experiments report as figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def ascii_bar_chart(
+    title: str,
+    values: Dict[str, float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one labelled bar per entry.
+
+    >>> print(ascii_bar_chart("demo", {"a": 2.0, "b": 1.0}, width=4))  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+    if width <= 0:
+        raise ValueError("chart width must be positive")
+    lines = [title, "-" * len(title)]
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label in values)
+    maximum = max(values.values()) or 1.0
+    for label, value in values.items():
+        bar = "#" * max(0, int(round(value / maximum * width)))
+        suffix = f" {value:.3g}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    title: str,
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """A crude multi-series scatter/line chart on a character grid.
+
+    Each series is a list of (x, y) points; series are drawn with distinct
+    marker characters and a legend is appended.
+    """
+    if width <= 2 or height <= 2:
+        raise ValueError("chart dimensions are too small")
+    lines = [title, "-" * len(title)]
+    all_points = [point for points in series.values() for point in points]
+    if not all_points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    xs = [point[0] for point in all_points]
+    ys = [point[1] for point in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x@%&$"
+    legend = []
+    for series_index, (name, points) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for x, y in points:
+            column = int(round((x - x_low) / x_span * (width - 1)))
+            row = int(round((y - y_low) / y_span * (height - 1)))
+            grid[height - 1 - row][column] = marker
+    top_label = f"{y_high:.3g}"
+    bottom_label = f"{y_low:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width + f"  {x_low:.3g}" + " " * max(1, width - 12) + f"{x_high:.3g}"
+    )
+    lines.append("legend: " + ", ".join(legend))
+    return "\n".join(lines)

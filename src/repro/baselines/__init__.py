@@ -1,0 +1,27 @@
+"""Baseline execution engines the agile co-processor is compared against.
+
+* :class:`HostOnlyEngine` — no co-processor at all; every function runs as
+  software on the host CPU.
+* :class:`FullReconfigEngine` — an FPGA co-processor *without* partial
+  reconfiguration: switching algorithms rewrites the entire device and only
+  one algorithm is ever resident.
+* :class:`StaticFixedEngine` — a fixed-function accelerator: whatever fits is
+  loaded once at start-up and never changes; requests for anything else fall
+  back to host software.
+
+All three expose the same ``execute(name, data)`` interface as
+:class:`~repro.core.coprocessor.AgileCoprocessor`, so the trace runner and the
+benchmarks treat them interchangeably.
+"""
+
+from repro.baselines.base import BaselineResult
+from repro.baselines.host_only import HostOnlyEngine
+from repro.baselines.full_reconfig import FullReconfigEngine
+from repro.baselines.static_fixed import StaticFixedEngine
+
+__all__ = [
+    "BaselineResult",
+    "HostOnlyEngine",
+    "FullReconfigEngine",
+    "StaticFixedEngine",
+]

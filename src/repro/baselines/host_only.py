@@ -1,0 +1,62 @@
+"""Host-only (pure software) baseline.
+
+Runs the reference behaviour of every function on the host CPU.  The cycle
+cost is the function's hardware cycle count scaled by a per-call *software
+slowdown* factor (hardware exploits bit-level and pipeline parallelism the
+CPU lacks) and divided by the host clock, so the comparison against the
+co-processor varies realistically with input size and host speed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import BaselineResult
+from repro.functions.bank import FunctionBank
+from repro.sim.clock import Clock
+
+
+class HostOnlyEngine:
+    """Executes every request as software on the host CPU."""
+
+    def __init__(
+        self,
+        bank: FunctionBank,
+        host_clock_hz: float = 1e9,
+        software_slowdown: float = 20.0,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if host_clock_hz <= 0:
+            raise ValueError("the host clock must be positive")
+        if software_slowdown <= 0:
+            raise ValueError("the software slowdown must be positive")
+        self.bank = bank
+        self.host_clock_hz = host_clock_hz
+        self.software_slowdown = software_slowdown
+        self.clock = clock if clock is not None else Clock()
+        self.calls = 0
+        self.total_cycles = 0
+
+    def software_time_ns(self, name: str, input_length: int) -> float:
+        """Modelled host CPU time for one call."""
+        function = self.bank.by_name(name)
+        cycles = function.software_cycles(input_length, self.software_slowdown)
+        return cycles / self.host_clock_hz * 1e9
+
+    def execute(self, name: str, data: bytes, future_requests=None) -> BaselineResult:
+        """Run *name* on *data* in software (the result is bit-exact with the
+        hardware because both use the same reference behaviour)."""
+        function = self.bank.by_name(name)
+        elapsed = self.software_time_ns(name, len(data))
+        output = function.behaviour(data)
+        self.clock.advance(elapsed)
+        self.calls += 1
+        self.total_cycles += function.software_cycles(len(data), self.software_slowdown)
+        return BaselineResult(
+            function=name,
+            output=output,
+            latency_ns=elapsed,
+            hit=True,
+            offloaded=False,
+            breakdown={"software": elapsed},
+        )

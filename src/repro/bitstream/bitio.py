@@ -1,0 +1,92 @@
+"""Bit-level I/O helpers used by the entropy codecs (Huffman, Golomb-Rice)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class BitWriter:
+    """Accumulates bits most-significant-bit first and renders padded bytes."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._filled = 0
+        self.bit_count = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self._current = (self._current << 1) | bit
+        self._filled += 1
+        self.bit_count += 1
+        if self._filled == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append *width* bits of *value*, most significant first."""
+        if width < 0:
+            raise ValueError("bit width cannot be negative")
+        if value < 0 or (width < 64 and value >= (1 << width)):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for position in range(width - 1, -1, -1):
+            self.write_bit((value >> position) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append *value* one-bits followed by a terminating zero."""
+        if value < 0:
+            raise ValueError("unary values must be non-negative")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def getvalue(self) -> bytes:
+        """The written bits padded with zeros to a whole number of bytes."""
+        result = bytearray(self._buffer)
+        if self._filled:
+            result.append(self._current << (8 - self._filled))
+        return bytes(result)
+
+
+class BitReader:
+    """Reads bits most-significant-bit first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._position
+
+    def read_bit(self) -> int:
+        if self._position >= len(self._data) * 8:
+            raise EOFError("attempt to read past the end of the bit stream")
+        byte_index, bit_index = divmod(self._position, 8)
+        self._position += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, width: int) -> int:
+        """Read *width* bits as an unsigned integer (MSB first)."""
+        if width < 0:
+            raise ValueError("bit width cannot be negative")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary-coded value (count of one-bits before the zero)."""
+        count = 0
+        while self.read_bit() == 1:
+            count += 1
+        return count
+
+    def align_to_byte(self) -> None:
+        """Skip forward to the next byte boundary."""
+        remainder = self._position % 8
+        if remainder:
+            self._position += 8 - remainder

@@ -1,0 +1,36 @@
+"""Compression codecs for configuration bit-streams.
+
+Every codec implements :class:`Codec`: lossless ``compress`` / ``decompress``
+over byte strings, plus window-context variants used by the streaming
+(window-by-window) decompressor in the microcontroller's configuration
+module.  The registry maps codec names to constructors so experiment configs
+can select codecs by name.
+
+The :class:`SymmetryAwareCodec` addresses the open problem stated in the
+paper's conclusion — compression "that can exploit the symmetry in the CLB
+architectures of FPGAs": it transposes the frame payload so that homologous
+configuration fields of different CLBs become adjacent before entropy coding.
+"""
+
+from repro.bitstream.codecs.base import Codec, CodecError, NullCodec, available_codecs, get_codec, register_codec
+from repro.bitstream.codecs.rle import RunLengthCodec
+from repro.bitstream.codecs.lz77 import LZ77Codec
+from repro.bitstream.codecs.huffman import HuffmanCodec
+from repro.bitstream.codecs.golomb import GolombRiceCodec
+from repro.bitstream.codecs.framediff import FrameDifferentialCodec
+from repro.bitstream.codecs.symmetry import SymmetryAwareCodec
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "NullCodec",
+    "RunLengthCodec",
+    "LZ77Codec",
+    "HuffmanCodec",
+    "GolombRiceCodec",
+    "FrameDifferentialCodec",
+    "SymmetryAwareCodec",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+]

@@ -1,0 +1,74 @@
+"""Frame-differential compression.
+
+Adjacent frames of the same function are often near-identical (datapath bit
+slices replicate column to column), so XOR-ing each window against the
+previous raw window turns most of the payload into zeros, which the inner
+run-length stage then collapses.  This mirrors the "difference based" flow of
+Xilinx XAPP290 referenced by the paper, applied between frames of one
+bit-stream rather than between two full device images.
+
+The codec is *context dependent*: the windowed layer passes the previous raw
+window to :meth:`compress_window` / :meth:`decompress_window`.  When used on a
+whole buffer (no context), it chunks the buffer internally using
+``frame_size`` as the window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bitstream.codecs.base import Codec, CodecError, register_codec
+from repro.bitstream.codecs.rle import RunLengthCodec
+
+
+def _xor_bytes(data: bytes, reference: bytes) -> bytes:
+    """XOR *data* with *reference* (reference padded/truncated to match)."""
+    if len(reference) < len(data):
+        reference = reference + b"\x00" * (len(data) - len(reference))
+    return bytes(a ^ b for a, b in zip(data, reference[: len(data)]))
+
+
+class FrameDifferentialCodec(Codec):
+    """XOR-against-previous-frame followed by run-length coding."""
+
+    name = "framediff"
+
+    def __init__(self, frame_size: int = 1024) -> None:
+        if frame_size <= 0:
+            raise ValueError("frame size must be positive")
+        self.frame_size = frame_size
+        self._inner = RunLengthCodec()
+
+    # --------------------------------------------------------- whole buffer
+    def compress(self, data: bytes) -> bytes:
+        transformed = bytearray()
+        previous = b"\x00" * self.frame_size
+        for start in range(0, len(data), self.frame_size):
+            window = data[start : start + self.frame_size]
+            transformed.extend(_xor_bytes(window, previous))
+            previous = window
+        return self._inner.compress(bytes(transformed))
+
+    def decompress(self, blob: bytes) -> bytes:
+        transformed = self._inner.decompress(blob)
+        out = bytearray()
+        previous = b"\x00" * self.frame_size
+        for start in range(0, len(transformed), self.frame_size):
+            delta = transformed[start : start + self.frame_size]
+            window = _xor_bytes(delta, previous)
+            out.extend(window)
+            previous = window
+        return bytes(out)
+
+    # ------------------------------------------------------------- windowed
+    def compress_window(self, window: bytes, previous_window: Optional[bytes] = None) -> bytes:
+        reference = previous_window if previous_window is not None else b"\x00" * len(window)
+        return self._inner.compress(_xor_bytes(window, reference))
+
+    def decompress_window(self, blob: bytes, previous_window: Optional[bytes] = None) -> bytes:
+        delta = self._inner.decompress(blob)
+        reference = previous_window if previous_window is not None else b"\x00" * len(delta)
+        return _xor_bytes(delta, reference)
+
+
+register_codec(FrameDifferentialCodec.name, FrameDifferentialCodec)

@@ -1,0 +1,111 @@
+"""Golomb-Rice coding of zero-run lengths.
+
+Configuration bit-streams of sparsely used fabrics are mostly zero bytes with
+occasional configured bytes.  This codec models the classic FPGA bit-stream
+compression approach of Golomb-coding the lengths of zero runs and emitting
+non-zero bytes literally.
+
+Stream layout: ``<orig_len:4><k:1>`` then a bit stream of tokens, each token
+being ``<zero_run (Rice k)> <flag bit>``; when the flag is 1 a literal byte
+(8 bits) follows.  The final token may have flag 0 meaning "run reaches the
+end of the data".
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.bitstream.bitio import BitReader, BitWriter
+from repro.bitstream.codecs.base import Codec, CodecError, register_codec
+
+
+def _rice_encode(writer: BitWriter, value: int, k: int) -> None:
+    quotient = value >> k
+    writer.write_unary(quotient)
+    if k:
+        writer.write_bits(value & ((1 << k) - 1), k)
+
+
+def _rice_decode(reader: BitReader, k: int) -> int:
+    quotient = reader.read_unary()
+    remainder = reader.read_bits(k) if k else 0
+    return (quotient << k) | remainder
+
+
+def _choose_k(data: bytes) -> int:
+    """Pick the Rice parameter from the mean zero-run length."""
+    runs = []
+    current = 0
+    for byte in data:
+        if byte == 0:
+            current += 1
+        else:
+            runs.append(current)
+            current = 0
+    runs.append(current)
+    mean = sum(runs) / len(runs) if runs else 0.0
+    k = 0
+    while (1 << (k + 1)) <= max(1.0, mean):
+        k += 1
+    return min(k, 15)
+
+
+class GolombRiceCodec(Codec):
+    """Zero-run / literal codec with Rice-coded run lengths."""
+
+    name = "golomb"
+
+    def __init__(self, k: int | None = None) -> None:
+        if k is not None and not 0 <= k <= 15:
+            raise ValueError("Rice parameter k must be in 0..15")
+        self.k = k
+
+    def compress(self, data: bytes) -> bytes:
+        k = self.k if self.k is not None else _choose_k(data)
+        writer = BitWriter()
+        run = 0
+        for byte in data:
+            if byte == 0:
+                run += 1
+            else:
+                _rice_encode(writer, run, k)
+                writer.write_bit(1)
+                writer.write_bits(byte, 8)
+                run = 0
+        if run:
+            _rice_encode(writer, run, k)
+            writer.write_bit(0)
+        return struct.pack(">IB", len(data), k) + writer.getvalue()
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 5:
+            raise CodecError("truncated Golomb-Rice header")
+        original_length, k = struct.unpack_from(">IB", blob, 0)
+        reader = BitReader(blob[5:])
+        out = bytearray()
+        while len(out) < original_length:
+            try:
+                run = _rice_decode(reader, k)
+            except EOFError:
+                raise CodecError("Golomb-Rice stream ended mid-token") from None
+            out.extend(b"\x00" * run)
+            if len(out) > original_length:
+                raise CodecError("Golomb-Rice run overruns the declared length")
+            if len(out) == original_length:
+                break
+            try:
+                flag = reader.read_bit()
+            except EOFError:
+                raise CodecError("Golomb-Rice stream missing literal flag") from None
+            if flag:
+                out.append(reader.read_bits(8))
+            else:
+                break
+        if len(out) != original_length:
+            raise CodecError(
+                f"Golomb-Rice produced {len(out)} bytes, expected {original_length}"
+            )
+        return bytes(out)
+
+
+register_codec(GolombRiceCodec.name, GolombRiceCodec)

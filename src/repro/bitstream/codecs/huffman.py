@@ -1,0 +1,125 @@
+"""Canonical Huffman coding over bytes.
+
+The encoder stores the code-length table (256 bytes) followed by the packed
+code words; the decoder rebuilds the canonical code from the lengths.  Frame
+payloads have a heavily skewed byte histogram (zero dominates), which Huffman
+captures without needing any knowledge of the frame structure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.bitstream.bitio import BitReader, BitWriter
+from repro.bitstream.codecs.base import Codec, CodecError, register_codec
+
+_MAX_CODE_LENGTH = 32
+
+
+def _code_lengths(data: bytes) -> List[int]:
+    """Huffman code length per byte value (0 for absent symbols)."""
+    counts = Counter(data)
+    if len(counts) == 1:
+        # A single distinct symbol still needs a 1-bit code.
+        symbol = next(iter(counts))
+        lengths = [0] * 256
+        lengths[symbol] = 1
+        return lengths
+    heap: List[Tuple[int, int, Tuple]] = []
+    for ticket, (symbol, count) in enumerate(sorted(counts.items())):
+        heap.append((count, ticket, (symbol,)))
+    heapq.heapify(heap)
+    ticket = len(heap)
+    lengths = [0] * 256
+    # Standard Huffman tree construction, tracking only depths.
+    depth: Dict[int, int] = {symbol: 0 for symbol in counts}
+    while len(heap) > 1:
+        count_a, _, symbols_a = heapq.heappop(heap)
+        count_b, _, symbols_b = heapq.heappop(heap)
+        for symbol in symbols_a + symbols_b:
+            depth[symbol] += 1
+        ticket += 1
+        heapq.heappush(heap, (count_a + count_b, ticket, symbols_a + symbols_b))
+    for symbol, length in depth.items():
+        lengths[symbol] = length
+    return lengths
+
+
+def _canonical_codes(lengths: List[int]) -> Dict[int, Tuple[int, int]]:
+    """Map symbol -> (code, length) for a canonical Huffman code."""
+    symbols = [(length, symbol) for symbol, length in enumerate(lengths) if length > 0]
+    symbols.sort()
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for length, symbol in symbols:
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+class HuffmanCodec(Codec):
+    """Canonical Huffman codec with an explicit length table header."""
+
+    name = "huffman"
+
+    def compress(self, data: bytes) -> bytes:
+        if not data:
+            return struct.pack(">I", 0)
+        lengths = _code_lengths(data)
+        if max(lengths) > _MAX_CODE_LENGTH:
+            # Pathological distributions; fall back to storing raw (tag 0xFF).
+            return struct.pack(">I", 0xFFFFFFFF) + data
+        codes = _canonical_codes(lengths)
+        writer = BitWriter()
+        for byte in data:
+            code, length = codes[byte]
+            writer.write_bits(code, length)
+        packed = writer.getvalue()
+        header = struct.pack(">I", len(data)) + bytes(lengths)
+        return header + packed
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 4:
+            raise CodecError("truncated Huffman header")
+        (count,) = struct.unpack_from(">I", blob, 0)
+        if count == 0:
+            return b""
+        if count == 0xFFFFFFFF:
+            return blob[4:]
+        if len(blob) < 4 + 256:
+            raise CodecError("truncated Huffman length table")
+        lengths = list(blob[4 : 4 + 256])
+        codes = _canonical_codes(lengths)
+        if not codes:
+            raise CodecError("Huffman length table describes no symbols")
+        # Invert: (length, code) -> symbol.
+        decode_table: Dict[Tuple[int, int], int] = {
+            (length, code): symbol for symbol, (code, length) in codes.items()
+        }
+        reader = BitReader(blob[4 + 256 :])
+        out = bytearray()
+        max_length = max(length for length, _ in decode_table)
+        while len(out) < count:
+            code = 0
+            length = 0
+            while True:
+                try:
+                    code = (code << 1) | reader.read_bit()
+                except EOFError:
+                    raise CodecError("Huffman stream ended mid-symbol") from None
+                length += 1
+                if (length, code) in decode_table:
+                    out.append(decode_table[(length, code)])
+                    break
+                if length > max_length:
+                    raise CodecError("invalid Huffman code word")
+        return bytes(out)
+
+
+register_codec(HuffmanCodec.name, HuffmanCodec)

@@ -1,0 +1,134 @@
+"""A small LZ77 (sliding-window dictionary) codec.
+
+Configuration frames repeat structure across CLBs, so back-references to
+earlier occurrences of the same LUT/switch patterns compress well even when
+the data is not runs of a single byte.
+
+Token format (byte-aligned for simplicity of the streaming decompressor):
+
+* ``0x00 <length:1> <literal bytes>`` — up to 255 literal bytes.
+* ``0x01 <distance:2> <length:2>``    — copy ``length`` bytes from ``distance``
+  bytes back in the already-decoded output.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from repro.bitstream.codecs.base import Codec, CodecError, register_codec
+
+_LITERAL = 0x00
+_MATCH = 0x01
+_MAX_LITERAL = 255
+_MIN_MATCH = 4
+_MAX_MATCH = 0xFFFF
+
+
+class LZ77Codec(Codec):
+    """Hash-chain LZ77 with a configurable window."""
+
+    name = "lz77"
+
+    def __init__(self, window: int = 4096, max_chain: int = 32) -> None:
+        if window <= 0 or window > 0xFFFF:
+            raise ValueError("LZ77 window must be in 1..65535")
+        if max_chain <= 0:
+            raise ValueError("max_chain must be positive")
+        self.window = window
+        self.max_chain = max_chain
+
+    # ------------------------------------------------------------- compress
+    def compress(self, data: bytes) -> bytes:
+        out = bytearray()
+        literal = bytearray()
+        # Map a 4-byte prefix to candidate positions (most recent first).
+        table: Dict[bytes, List[int]] = {}
+        index = 0
+        length = len(data)
+
+        def flush_literal() -> None:
+            start = 0
+            while start < len(literal):
+                chunk = literal[start : start + _MAX_LITERAL]
+                out.append(_LITERAL)
+                out.append(len(chunk))
+                out.extend(chunk)
+                start += _MAX_LITERAL
+            literal.clear()
+
+        while index < length:
+            best_length = 0
+            best_distance = 0
+            if index + _MIN_MATCH <= length:
+                key = bytes(data[index : index + _MIN_MATCH])
+                candidates = table.get(key, [])
+                checked = 0
+                for candidate in reversed(candidates):
+                    if index - candidate > self.window:
+                        break
+                    checked += 1
+                    if checked > self.max_chain:
+                        break
+                    match_length = 0
+                    limit = min(length - index, _MAX_MATCH)
+                    while (
+                        match_length < limit
+                        and data[candidate + match_length] == data[index + match_length]
+                    ):
+                        match_length += 1
+                    if match_length > best_length:
+                        best_length = match_length
+                        best_distance = index - candidate
+            if best_length >= _MIN_MATCH:
+                flush_literal()
+                out.append(_MATCH)
+                out.extend(struct.pack(">HH", best_distance, best_length))
+                end = index + best_length
+                while index < end:
+                    if index + _MIN_MATCH <= length:
+                        key = bytes(data[index : index + _MIN_MATCH])
+                        table.setdefault(key, []).append(index)
+                    index += 1
+            else:
+                if index + _MIN_MATCH <= length:
+                    key = bytes(data[index : index + _MIN_MATCH])
+                    table.setdefault(key, []).append(index)
+                literal.append(data[index])
+                index += 1
+        flush_literal()
+        return bytes(out)
+
+    # ----------------------------------------------------------- decompress
+    def decompress(self, blob: bytes) -> bytes:
+        out = bytearray()
+        index = 0
+        length = len(blob)
+        while index < length:
+            tag = blob[index]
+            index += 1
+            if tag == _LITERAL:
+                if index >= length:
+                    raise CodecError("truncated LZ77 literal header")
+                count = blob[index]
+                index += 1
+                if index + count > length:
+                    raise CodecError("truncated LZ77 literal data")
+                out.extend(blob[index : index + count])
+                index += count
+            elif tag == _MATCH:
+                if index + 4 > length:
+                    raise CodecError("truncated LZ77 match token")
+                distance, match_length = struct.unpack_from(">HH", blob, index)
+                index += 4
+                if distance == 0 or distance > len(out):
+                    raise CodecError(f"LZ77 back-reference distance {distance} is invalid")
+                start = len(out) - distance
+                for offset in range(match_length):
+                    out.append(out[start + offset])
+            else:
+                raise CodecError(f"unknown LZ77 token tag 0x{tag:02x}")
+        return bytes(out)
+
+
+register_codec(LZ77Codec.name, LZ77Codec)

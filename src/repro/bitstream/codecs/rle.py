@@ -1,0 +1,95 @@
+"""Byte-oriented run-length encoding.
+
+Configuration frames of partially used devices are dominated by long runs of
+zero bytes (unused LUTs and routing), which simple RLE captures well — this is
+the codec class the original Xilinx difference-based flows leaned on.
+
+Encoding: a sequence of ``(count, value)`` pairs for runs of length >= 3 or of
+the escape byte, and literal segments prefixed with their length otherwise.
+
+Format (per segment):
+    * ``0x00 <count:2> <value:1>`` — a run of ``count`` copies of ``value``.
+    * ``0x01 <count:2> <bytes...>`` — ``count`` literal bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.bitstream.codecs.base import Codec, CodecError, register_codec
+
+_RUN = 0x00
+_LITERAL = 0x01
+_MAX_SEGMENT = 0xFFFF
+_MIN_RUN = 3
+
+
+class RunLengthCodec(Codec):
+    """Run-length codec with two-byte run/literal lengths."""
+
+    name = "rle"
+
+    def compress(self, data: bytes) -> bytes:
+        out = bytearray()
+        literal = bytearray()
+        index = 0
+        length = len(data)
+
+        def flush_literal() -> None:
+            start = 0
+            while start < len(literal):
+                chunk = literal[start : start + _MAX_SEGMENT]
+                out.append(_LITERAL)
+                out.extend(struct.pack(">H", len(chunk)))
+                out.extend(chunk)
+                start += _MAX_SEGMENT
+            literal.clear()
+
+        while index < length:
+            value = data[index]
+            run = 1
+            while (
+                index + run < length
+                and data[index + run] == value
+                and run < _MAX_SEGMENT
+            ):
+                run += 1
+            if run >= _MIN_RUN:
+                flush_literal()
+                out.append(_RUN)
+                out.extend(struct.pack(">H", run))
+                out.append(value)
+                index += run
+            else:
+                literal.extend(data[index : index + run])
+                index += run
+        flush_literal()
+        return bytes(out)
+
+    def decompress(self, blob: bytes) -> bytes:
+        out = bytearray()
+        index = 0
+        length = len(blob)
+        while index < length:
+            tag = blob[index]
+            index += 1
+            if index + 2 > length:
+                raise CodecError("truncated RLE segment header")
+            (count,) = struct.unpack_from(">H", blob, index)
+            index += 2
+            if tag == _RUN:
+                if index >= length:
+                    raise CodecError("truncated RLE run value")
+                out.extend(bytes([blob[index]]) * count)
+                index += 1
+            elif tag == _LITERAL:
+                if index + count > length:
+                    raise CodecError("truncated RLE literal segment")
+                out.extend(blob[index : index + count])
+                index += count
+            else:
+                raise CodecError(f"unknown RLE segment tag 0x{tag:02x}")
+        return bytes(out)
+
+
+register_codec(RunLengthCodec.name, RunLengthCodec)

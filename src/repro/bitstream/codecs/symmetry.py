@@ -1,0 +1,108 @@
+"""CLB-symmetry-aware compression (the paper's stated open problem).
+
+Within one frame every CLB serialises the same sequence of fields (LUT truth
+tables, FF init bits, switch bytes).  Because neighbouring CLBs of the same
+function tend to configure *homologous* fields similarly (a 32-bit datapath
+repeats the same slice logic 32 times), transposing the frame payload — so
+that byte *i* of every CLB becomes adjacent — produces much longer runs and
+tighter back-references than the raw CLB-major order.  The transposed stream
+is then delta-coded (each byte XOR its predecessor) and run-length coded.
+
+The transform is exactly invertible as long as the CLB stride is known, which
+it is: the stride is a device constant recorded in the compressed header.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.bitstream.codecs.base import Codec, CodecError, register_codec
+from repro.bitstream.codecs.rle import RunLengthCodec
+
+
+def _transpose(data: bytes, stride: int) -> bytes:
+    """Reorder a CLB-major payload into field-major order.
+
+    Bytes beyond the last whole stride (the "tail") are appended unchanged.
+    """
+    whole = (len(data) // stride) * stride
+    body, tail = data[:whole], data[whole:]
+    rows = len(body) // stride
+    out = bytearray(len(body))
+    position = 0
+    for column in range(stride):
+        for row in range(rows):
+            out[position] = body[row * stride + column]
+            position += 1
+    return bytes(out) + tail
+
+
+def _untranspose(data: bytes, stride: int) -> bytes:
+    """Inverse of :func:`_transpose`."""
+    whole = (len(data) // stride) * stride
+    body, tail = data[:whole], data[whole:]
+    rows = len(body) // stride
+    out = bytearray(len(body))
+    position = 0
+    for column in range(stride):
+        for row in range(rows):
+            out[row * stride + column] = body[position]
+            position += 1
+    return bytes(out) + tail
+
+
+def _delta_encode(data: bytes) -> bytes:
+    out = bytearray(len(data))
+    previous = 0
+    for index, byte in enumerate(data):
+        out[index] = byte ^ previous
+        previous = byte
+    return bytes(out)
+
+
+def _delta_decode(data: bytes) -> bytes:
+    out = bytearray(len(data))
+    previous = 0
+    for index, byte in enumerate(data):
+        previous ^= byte
+        out[index] = previous
+    return bytes(out)
+
+
+class SymmetryAwareCodec(Codec):
+    """Transpose-by-CLB, delta, then run-length code.
+
+    Parameters
+    ----------
+    clb_stride:
+        Number of configuration bytes per CLB (``FabricGeometry.clb_config_bytes``).
+        The default matches the library's default geometry but the value used
+        is always written into the compressed header, so decompression never
+        depends on out-of-band knowledge.
+    """
+
+    name = "symmetry"
+
+    def __init__(self, clb_stride: int = 42) -> None:
+        if clb_stride <= 0:
+            raise ValueError("CLB stride must be positive")
+        self.clb_stride = clb_stride
+        self._inner = RunLengthCodec()
+
+    def compress(self, data: bytes) -> bytes:
+        stride = min(self.clb_stride, max(1, len(data)))
+        transformed = _delta_encode(_transpose(data, stride))
+        return struct.pack(">I", stride) + self._inner.compress(transformed)
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 4:
+            raise CodecError("truncated symmetry codec header")
+        (stride,) = struct.unpack_from(">I", blob, 0)
+        if stride <= 0:
+            raise CodecError("symmetry codec header declares a non-positive stride")
+        transformed = self._inner.decompress(blob[4:])
+        return _untranspose(_delta_decode(transformed), stride)
+
+
+register_codec(SymmetryAwareCodec.name, SymmetryAwareCodec)

@@ -1,0 +1,66 @@
+"""Convenience builders wiring complete systems together."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import CoprocessorConfig, SMALL_CONFIG
+from repro.core.coprocessor import AgileCoprocessor
+from repro.core.host import HostDriver, build_host_system
+from repro.functions.bank import FunctionBank, build_default_bank, build_small_bank
+
+
+def build_function_bank(small: bool = False) -> FunctionBank:
+    """The default 14-function bank, or the small 4-function test bank."""
+    return build_small_bank() if small else build_default_bank()
+
+
+def build_coprocessor(
+    config: Optional[CoprocessorConfig] = None,
+    bank: Optional[FunctionBank] = None,
+    functions: Optional[Sequence[str]] = None,
+    download: bool = True,
+) -> AgileCoprocessor:
+    """Build a co-processor card.
+
+    Parameters
+    ----------
+    config:
+        Co-processor configuration (defaults to :class:`CoprocessorConfig`).
+    bank:
+        The function bank to install (defaults to the full bank).
+    functions:
+        Optional subset of bank function names to install instead of the whole
+        bank (useful for focused experiments).
+    download:
+        When true (the default) the bank's bit-streams are generated,
+        compressed and downloaded into the ROM immediately.
+    """
+    config = config if config is not None else CoprocessorConfig()
+    bank = bank if bank is not None else build_default_bank()
+    if functions is not None:
+        bank = bank.subset(functions)
+    coprocessor = AgileCoprocessor(config, bank)
+    if download:
+        coprocessor.download_bank()
+    return coprocessor
+
+
+def build_default_coprocessor(seed: int = 0, small: bool = False) -> AgileCoprocessor:
+    """A ready-to-use co-processor with default configuration and bank.
+
+    ``small=True`` builds the reduced configuration/bank used in fast tests.
+    """
+    config = (SMALL_CONFIG if small else CoprocessorConfig()).with_overrides(seed=seed)
+    bank = build_function_bank(small=small)
+    return build_coprocessor(config=config, bank=bank)
+
+
+def build_host_driver(
+    config: Optional[CoprocessorConfig] = None,
+    bank: Optional[FunctionBank] = None,
+    functions: Optional[Sequence[str]] = None,
+) -> HostDriver:
+    """A co-processor mounted on the PCI model with a ready host driver."""
+    coprocessor = build_coprocessor(config=config, bank=bank, functions=functions)
+    return build_host_system(coprocessor)

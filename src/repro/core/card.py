@@ -1,0 +1,133 @@
+"""The PCI card: the co-processor packaged behind a PCI register interface.
+
+The card maps a small command register file in BAR0 and a data window in
+BAR1.  The host driver stages input data into the window, writes the command
+registers, and the register-write hook runs the co-processor; results are
+placed back into the window for the driver to read out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.coprocessor import AgileCoprocessor, ExecutionResult
+from repro.core.exceptions import UnknownFunctionError
+from repro.mcu.commands import (
+    REG_COMMAND,
+    REG_FUNCTION_ID,
+    REG_INPUT_LENGTH,
+    REG_OUTPUT_LENGTH,
+    REG_STATUS,
+    REG_TIME_HIGH,
+    REG_TIME_LOW,
+    STATUS_BAD_COMMAND,
+    STATUS_CAPACITY,
+    STATUS_CONFIG_FAILED,
+    STATUS_OK,
+    STATUS_UNKNOWN_FUNCTION,
+    CommandKind,
+)
+from repro.mcu.minios.policies import CapacityError
+from repro.fpga.errors import ConfigurationError
+from repro.pci.device import PciDevice, PciFunctionInterface
+
+
+class CoprocessorCard(PciDevice):
+    """PCI personality of the agile co-processor.
+
+    Window layout (BAR1): the first half holds input data staged by the host,
+    the second half receives output data.
+    """
+
+    def __init__(self, coprocessor: AgileCoprocessor, window_bytes: int = 128 * 1024) -> None:
+        interface = PciFunctionInterface(window_bytes=window_bytes)
+        super().__init__(name="agile-coprocessor", interface=interface, window_bar_size=window_bytes)
+        self.coprocessor = coprocessor
+        self.window_bytes = window_bytes
+        self.output_offset = window_bytes // 2
+        self.last_result: Optional[ExecutionResult] = None
+        self.commands_processed = 0
+        interface.on_register_write(REG_COMMAND, self._on_command)
+
+    # ---------------------------------------------------------------- hooks
+    def _on_command(self, value: int) -> None:
+        try:
+            kind = CommandKind(value & 0xFF)
+        except ValueError:
+            self.interface.write_register(REG_STATUS, STATUS_BAD_COMMAND)
+            return
+        handler = {
+            CommandKind.NOP: self._handle_nop,
+            CommandKind.EXECUTE: self._handle_execute,
+            CommandKind.PRELOAD: self._handle_preload,
+            CommandKind.EVICT: self._handle_evict,
+            CommandKind.STATUS: self._handle_nop,
+            CommandKind.RESET: self._handle_reset,
+        }[kind]
+        handler()
+        self.commands_processed += 1
+
+    def _function_name(self) -> Optional[str]:
+        function_id = self.interface.read_register(REG_FUNCTION_ID)
+        try:
+            return self.coprocessor.bank.by_id(function_id).name
+        except KeyError:
+            return None
+
+    def _finish(self, status: int, output: bytes = b"", elapsed_ns: float = 0.0) -> None:
+        if output:
+            self.interface.write_window(self.output_offset, output)
+        self.interface.write_register(REG_OUTPUT_LENGTH, len(output))
+        nanoseconds = int(elapsed_ns)
+        self.interface.write_register(REG_TIME_LOW, nanoseconds & 0xFFFFFFFF)
+        self.interface.write_register(REG_TIME_HIGH, (nanoseconds >> 32) & 0xFFFFFFFF)
+        self.interface.write_register(REG_STATUS, status)
+
+    # -------------------------------------------------------------- handlers
+    def _handle_nop(self) -> None:
+        self._finish(STATUS_OK)
+
+    def _handle_execute(self) -> None:
+        name = self._function_name()
+        if name is None:
+            self._finish(STATUS_UNKNOWN_FUNCTION)
+            return
+        length = self.interface.read_register(REG_INPUT_LENGTH)
+        if length > self.output_offset:
+            self._finish(STATUS_BAD_COMMAND)
+            return
+        data = self.interface.read_window(0, length)
+        try:
+            result = self.coprocessor.execute(name, data)
+        except CapacityError:
+            self._finish(STATUS_CAPACITY)
+            return
+        except ConfigurationError:
+            self._finish(STATUS_CONFIG_FAILED)
+            return
+        self.last_result = result
+        self._finish(STATUS_OK, output=result.output, elapsed_ns=result.latency_ns)
+
+    def _handle_preload(self) -> None:
+        name = self._function_name()
+        if name is None:
+            self._finish(STATUS_UNKNOWN_FUNCTION)
+            return
+        try:
+            outcome = self.coprocessor.preload(name)
+        except CapacityError:
+            self._finish(STATUS_CAPACITY)
+            return
+        self._finish(STATUS_OK, elapsed_ns=outcome.total_time_ns)
+
+    def _handle_evict(self) -> None:
+        name = self._function_name()
+        if name is None:
+            self._finish(STATUS_UNKNOWN_FUNCTION)
+            return
+        self.coprocessor.evict(name)
+        self._finish(STATUS_OK)
+
+    def _handle_reset(self) -> None:
+        self.coprocessor.reset()
+        self._finish(STATUS_OK)

@@ -1,0 +1,263 @@
+"""The agile algorithm-on-demand co-processor.
+
+:class:`AgileCoprocessor` is the card-level model: it owns the shared clock,
+the ROM, the local RAM, the FPGA device, the microcontroller (with its mini
+OS) and the function bank, and exposes the two operations the paper's host
+performs — *download the bank* and *execute a function on demand*.
+
+The PCI path (host driver, DMA, command registers) is layered on top in
+:mod:`repro.core.card` and :mod:`repro.core.host`; this class can also be used
+directly when an experiment only cares about card-internal behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bitstream.codecs import get_codec
+from repro.bitstream.window import WindowedCompressor
+from repro.fpga.bitgen import BitstreamGenerator
+from repro.fpga.device import FPGADevice
+from repro.fpga.frame import FrameRegion
+from repro.fpga.placer import Placer, PlacementStrategy
+from repro.functions.bank import FunctionBank
+from repro.core.config import CoprocessorConfig
+from repro.core.exceptions import CardNotReadyError, UnknownFunctionError
+from repro.core.stats import CoprocessorStatistics
+from repro.mcu.config_module import ConfigurationModule
+from repro.mcu.data_modules import DataInputModule, OutputCollectionModule
+from repro.mcu.microcontroller import Microcontroller, RequestOutcome
+from repro.mcu.minios.minios import MiniOs
+from repro.mcu.minios.policies import build_policy
+from repro.memory.ram import LocalRam
+from repro.memory.records import FunctionRecord
+from repro.memory.rom import ConfigurationRom
+from repro.sim.clock import Clock
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class ExecutionResult:
+    """What the host gets back from one on-demand execution."""
+
+    function: str
+    output: bytes
+    hit: bool
+    evictions: List[str]
+    latency_ns: float
+    breakdown: Dict[str, float]
+    outcome: RequestOutcome
+
+    @property
+    def reconfigured(self) -> bool:
+        return not self.hit
+
+
+class AgileCoprocessor:
+    """Card-level model of the FPGA-based agile algorithm-on-demand co-processor."""
+
+    def __init__(
+        self,
+        config: CoprocessorConfig,
+        bank: FunctionBank,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.config = config
+        self.bank = bank
+        self.clock = clock if clock is not None else Clock()
+        self.trace = TraceRecorder(self.clock, enabled=config.enable_trace)
+        geometry = config.geometry()
+        self.geometry = geometry
+
+        self.rom = ConfigurationRom(config.rom_capacity_bytes, clock=self.clock, trace=self.trace)
+        self.ram = LocalRam(config.ram_capacity_bytes, clock=self.clock, trace=self.trace)
+        self.device = FPGADevice(
+            geometry,
+            clock=self.clock,
+            fabric_clock_hz=config.fabric_clock_hz,
+            config_clock_hz=config.config_clock_hz,
+            config_port_width_bytes=config.config_port_width_bytes,
+            trace=self.trace,
+        )
+        self.minios = MiniOs(
+            geometry,
+            policy=build_policy(config.replacement_policy, seed=config.seed),
+            placement_strategy=config.placement_strategy,
+        )
+        self.config_module = ConfigurationModule(
+            self.rom,
+            self.device,
+            self.clock,
+            mcu_clock_hz=config.mcu_clock_hz,
+            decompress_cycles_per_byte=config.decompress_cycles_per_byte,
+            rom_chunk_bytes=config.rom_chunk_bytes,
+            overlap_decompress=config.overlap_decompress,
+            trace=self.trace,
+        )
+        self.data_in = DataInputModule(
+            self.ram,
+            self.clock,
+            bus_width_bytes=config.interface_bus_width_bytes,
+            bus_clock_hz=config.mcu_clock_hz,
+            trace=self.trace,
+        )
+        self.data_out = OutputCollectionModule(
+            self.ram,
+            self.clock,
+            bus_width_bytes=config.interface_bus_width_bytes,
+            bus_clock_hz=config.mcu_clock_hz,
+            trace=self.trace,
+        )
+        self.mcu = Microcontroller(
+            bank=bank,
+            rom=self.rom,
+            ram=self.ram,
+            device=self.device,
+            minios=self.minios,
+            config_module=self.config_module,
+            data_in=self.data_in,
+            data_out=self.data_out,
+            clock=self.clock,
+            mcu_clock_hz=config.mcu_clock_hz,
+            command_decode_cycles=config.command_decode_cycles,
+            trace=self.trace,
+        )
+        self.stats = CoprocessorStatistics()
+        self._bitgen = BitstreamGenerator(geometry)
+        self._bank_downloaded = False
+        self.download_reports: Dict[str, Dict[str, float]] = {}
+
+    # ----------------------------------------------------------- bank download
+    def download_bank(self) -> Dict[str, FunctionRecord]:
+        """Generate, compress and download every function's bit-stream to the ROM.
+
+        This is the host's one-time setup step.  Returns the ROM records by
+        function name.
+        """
+        codec = get_codec(self.config.codec_name)
+        compressor = WindowedCompressor(codec, self.config.compression_window_bytes)
+        records: Dict[str, FunctionRecord] = {}
+        scratch_placer = Placer(self.geometry, strategy=PlacementStrategy.CONTIGUOUS_FIRST_FIT)
+        for function in self.bank:
+            netlist = function.build_netlist(self.geometry)
+            frames_needed = function.frames_required(self.geometry)
+            if netlist is not None:
+                placement = scratch_placer.place(
+                    netlist, self.geometry.all_frames(), frames_needed=frames_needed
+                )
+                bitstream = self._bitgen.generate(
+                    netlist,
+                    placement,
+                    function_id=function.function_id,
+                    input_bytes=function.spec.input_bytes,
+                    output_bytes=function.spec.output_bytes,
+                )
+            else:
+                payloads = self._bitgen.synthetic_frames(
+                    frame_count=frames_needed,
+                    lut_count=function.spec.lut_estimate,
+                    seed=self.config.seed + function.function_id,
+                )
+                from repro.bitstream.format import build_bitstream
+
+                bitstream = build_bitstream(
+                    function_id=function.function_id,
+                    function_name=function.name,
+                    frame_payloads=payloads,
+                    input_bytes=function.spec.input_bytes,
+                    output_bytes=function.spec.output_bytes,
+                    lut_count=function.spec.lut_estimate,
+                )
+            raw = bitstream.to_bytes()
+            image = compressor.compress(raw)
+            stored = image.to_bytes()
+            record = self.rom.download(
+                function_id=function.function_id,
+                name=function.name,
+                compressed_image=stored,
+                uncompressed_size=len(raw),
+                input_bytes=function.spec.input_bytes,
+                output_bytes=function.spec.output_bytes,
+                frame_count=bitstream.header.frame_count,
+                codec_name=codec.name,
+            )
+            records[function.name] = record
+            self.download_reports[function.name] = {
+                "raw_bytes": float(len(raw)),
+                "stored_bytes": float(len(stored)),
+                "compression_ratio": len(raw) / max(1, len(stored)),
+                "frames": float(bitstream.header.frame_count),
+            }
+        self._bank_downloaded = True
+        return records
+
+    @property
+    def bank_downloaded(self) -> bool:
+        return self._bank_downloaded
+
+    # ---------------------------------------------------------------- execute
+    def execute(
+        self,
+        name: str,
+        data: bytes,
+        future_requests: Optional[Sequence[str]] = None,
+    ) -> ExecutionResult:
+        """Execute function *name* on *data*, loading it on demand if needed."""
+        if not self._bank_downloaded:
+            self.download_bank()
+        if name not in self.bank:
+            raise UnknownFunctionError(name)
+        started = self.clock.now
+        outcome = self.mcu.handle_execute(name, data, future_requests=future_requests)
+        latency = self.clock.now - started
+        self.stats.record(outcome, input_bytes=len(data))
+        return ExecutionResult(
+            function=name,
+            output=outcome.output,
+            hit=outcome.hit,
+            evictions=list(outcome.evictions),
+            latency_ns=latency,
+            breakdown=outcome.breakdown(),
+            outcome=outcome,
+        )
+
+    def preload(self, name: str) -> RequestOutcome:
+        """Bring *name* onto the fabric without executing it."""
+        if not self._bank_downloaded:
+            self.download_bank()
+        if name not in self.bank:
+            raise UnknownFunctionError(name)
+        return self.mcu.ensure_loaded(name)
+
+    def evict(self, name: str) -> None:
+        """Explicitly evict *name* from the fabric."""
+        self.mcu.evict(name)
+
+    def reset(self) -> None:
+        """Clear the fabric, the mini OS and the statistics (keeps the ROM)."""
+        self.mcu.reset()
+        self.stats = CoprocessorStatistics()
+
+    # --------------------------------------------------------------- queries
+    def loaded_functions(self) -> List[str]:
+        return sorted(self.device.loaded_functions)
+
+    def is_loaded(self, name: str) -> bool:
+        return self.device.is_loaded(name)
+
+    def rom_layout(self) -> Dict[str, int]:
+        return self.rom.layout_summary()
+
+    def describe(self) -> str:
+        lines = [
+            "Agile Algorithm-On-Demand Co-Processor",
+            f"  fabric : {self.geometry.describe()}",
+            f"  ROM    : {self.rom.bitstream_bytes_used}/{self.rom.capacity_bytes} bytes of bit-streams, "
+            f"{len(self.rom.record_table)} records",
+            f"  RAM    : {self.ram.capacity_bytes} bytes",
+            f"  policy : {self.minios.policy.name}",
+            f"  codec  : {self.config.codec_name}",
+            f"  loaded : {', '.join(self.loaded_functions()) or '(none)'}",
+        ]
+        return "\n".join(lines)

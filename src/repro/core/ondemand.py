@@ -1,0 +1,164 @@
+"""Trace execution: running workloads through an execution engine.
+
+The :class:`TraceRunner` drives a :class:`~repro.workloads.trace.Trace`
+through any *execution engine* — the agile co-processor, one of the baselines
+in :mod:`repro.baselines`, or anything else exposing
+``execute(name, data) -> result`` where the result has ``latency_ns``,
+``hit`` and ``output`` attributes.  It produces a :class:`TraceResult` with
+per-request records and the aggregate metrics the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Sequence
+
+from repro.workloads.trace import Request, Trace
+
+
+class ExecutionEngine(Protocol):
+    """What the trace runner requires of an engine."""
+
+    def execute(self, name: str, data: bytes) -> Any:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class RequestRecord:
+    """Outcome of one trace request."""
+
+    index: int
+    function: str
+    payload_bytes: int
+    latency_ns: float
+    hit: bool
+    output_bytes: int
+
+
+@dataclass
+class TraceResult:
+    """Aggregate results of one trace run."""
+
+    trace_name: str
+    engine_name: str
+    records: List[RequestRecord] = field(default_factory=list)
+    total_time_ns: float = 0.0
+
+    # -------------------------------------------------------------- derived
+    @property
+    def requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for record in self.records if record.hit)
+
+    @property
+    def misses(self) -> int:
+        return self.requests - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(record.latency_ns for record in self.records) / len(self.records)
+
+    @property
+    def total_latency_ns(self) -> float:
+        return sum(record.latency_ns for record in self.records)
+
+    def latency_percentile(self, percentile: float) -> float:
+        if not self.records:
+            return 0.0
+        ordered = sorted(record.latency_ns for record in self.records)
+        index = min(len(ordered) - 1, int(round(percentile / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def throughput_requests_per_s(self) -> float:
+        if self.total_time_ns <= 0:
+            return 0.0
+        return self.requests / (self.total_time_ns / 1e9)
+
+    def mean_latency_for(self, function: str) -> float:
+        latencies = [record.latency_ns for record in self.records if record.function == function]
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": float(self.requests),
+            "hit_rate": self.hit_rate,
+            "mean_latency_ns": self.mean_latency_ns,
+            "p95_latency_ns": self.latency_percentile(95),
+            "total_time_ns": self.total_time_ns,
+            "throughput_rps": self.throughput_requests_per_s,
+        }
+
+
+class TraceRunner:
+    """Runs traces against execution engines."""
+
+    def __init__(self, engine: ExecutionEngine, engine_name: Optional[str] = None) -> None:
+        self.engine = engine
+        self.engine_name = engine_name or type(engine).__name__
+
+    def run(
+        self,
+        trace: Trace,
+        provide_future: bool = False,
+        limit: Optional[int] = None,
+    ) -> TraceResult:
+        """Execute *trace* request by request (closed loop).
+
+        ``provide_future`` passes the remaining request sequence to the engine
+        (only meaningful for the Belady replacement policy); engines that do
+        not accept the keyword are called without it.
+        """
+        result = TraceResult(trace_name=trace.name, engine_name=self.engine_name)
+        requests = trace.requests if limit is None else trace.requests[:limit]
+        clock = getattr(self.engine, "clock", None)
+        started_ns = clock.now if clock is not None else 0.0
+        function_sequence = [request.function for request in requests]
+        for index, request in enumerate(requests):
+            if clock is not None and request.arrival_offset_ns:
+                clock.advance(request.arrival_offset_ns)
+            if provide_future:
+                outcome = self.engine.execute(
+                    request.function,
+                    request.payload,
+                    future_requests=function_sequence[index + 1 :],
+                )
+            else:
+                outcome = self.engine.execute(request.function, request.payload)
+            result.records.append(
+                RequestRecord(
+                    index=index,
+                    function=request.function,
+                    payload_bytes=request.payload_bytes,
+                    latency_ns=float(getattr(outcome, "latency_ns")),
+                    hit=bool(getattr(outcome, "hit", True)),
+                    output_bytes=len(getattr(outcome, "output", b"")),
+                )
+            )
+        if clock is not None:
+            result.total_time_ns = clock.now - started_ns
+        else:
+            result.total_time_ns = result.total_latency_ns
+        return result
+
+
+def compare_engines(
+    trace: Trace,
+    engines: Dict[str, ExecutionEngine],
+    provide_future: bool = False,
+) -> Dict[str, TraceResult]:
+    """Run the same trace against several engines; returns results by name."""
+    results: Dict[str, TraceResult] = {}
+    for name, engine in engines.items():
+        runner = TraceRunner(engine, engine_name=name)
+        results[name] = runner.run(trace, provide_future=provide_future)
+    return results

@@ -1,0 +1,117 @@
+"""Aggregate statistics over a co-processor's lifetime."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mcu.microcontroller import RequestOutcome
+
+
+@dataclass
+class CoprocessorStatistics:
+    """Counters and per-phase time totals across every request served."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    total_latency_ns: float = 0.0
+    total_reconfig_ns: float = 0.0
+    total_execute_ns: float = 0.0
+    total_data_movement_ns: float = 0.0
+    per_function_requests: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    per_function_latency_ns: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    latencies_ns: List[float] = field(default_factory=list)
+    #: Cap on retained per-request latencies (percentiles stay meaningful while
+    #: memory stays bounded for very long traces).
+    max_recorded_latencies: int = 100_000
+
+    # ------------------------------------------------------------- recording
+    def record(self, outcome: RequestOutcome, input_bytes: int) -> None:
+        """Fold one request outcome into the aggregates."""
+        self.requests += 1
+        if outcome.hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self.evictions += len(outcome.evictions)
+        self.bytes_in += input_bytes
+        self.bytes_out += len(outcome.output)
+        self.total_latency_ns += outcome.total_time_ns
+        self.total_reconfig_ns += outcome.reconfig_time_ns
+        self.total_execute_ns += outcome.execute_time_ns
+        self.total_data_movement_ns += (
+            outcome.stage_input_time_ns
+            + outcome.feed_time_ns
+            + outcome.collect_time_ns
+            + outcome.readout_time_ns
+        )
+        self.per_function_requests[outcome.function] += 1
+        self.per_function_latency_ns[outcome.function] += outcome.total_time_ns
+        if len(self.latencies_ns) < self.max_recorded_latencies:
+            self.latencies_ns.append(outcome.total_time_ns)
+
+    # -------------------------------------------------------------- derived
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.requests if self.requests else 0.0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.total_latency_ns / self.requests if self.requests else 0.0
+
+    @property
+    def mean_reconfig_ns(self) -> float:
+        return self.total_reconfig_ns / self.misses if self.misses else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile (0..100) over the recorded requests."""
+        if not self.latencies_ns:
+            return 0.0
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be between 0 and 100")
+        ordered = sorted(self.latencies_ns)
+        index = min(len(ordered) - 1, int(round(percentile / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def mean_latency_for(self, function: str) -> float:
+        count = self.per_function_requests.get(function, 0)
+        if not count:
+            return 0.0
+        return self.per_function_latency_ns[function] / count
+
+    def reset(self) -> None:
+        self.__init__()  # type: ignore[misc]
+
+    # ------------------------------------------------------------ reporting
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary used by the analysis/report helpers."""
+        return {
+            "requests": float(self.requests),
+            "hit_rate": self.hit_rate,
+            "evictions": float(self.evictions),
+            "mean_latency_ns": self.mean_latency_ns,
+            "p95_latency_ns": self.latency_percentile(95),
+            "mean_reconfig_ns": self.mean_reconfig_ns,
+            "total_execute_ns": self.total_execute_ns,
+            "total_data_movement_ns": self.total_data_movement_ns,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"requests           : {self.requests}",
+            f"hit rate           : {self.hit_rate:.3f}",
+            f"evictions          : {self.evictions}",
+            f"mean latency       : {self.mean_latency_ns / 1e3:.2f} us",
+            f"p95 latency        : {self.latency_percentile(95) / 1e3:.2f} us",
+            f"mean reconfig time : {self.mean_reconfig_ns / 1e3:.2f} us",
+        ]
+        return "\n".join(lines)

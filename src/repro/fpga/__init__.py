@@ -1,0 +1,65 @@
+"""Behavioural model of a partially reconfigurable FPGA.
+
+The fabric follows the paper's vocabulary: the device is divided into
+*frames*, each a pre-specified number of logic blocks (CLBs) plus the relevant
+switch blocks.  A function's logic occupies a set of frames — contiguous or
+not — and partial reconfiguration rewrites only the frames of the function
+being swapped in, leaving every other frame (and the functions realised in
+them) untouched.
+
+Main entry points:
+
+* :class:`~repro.fpga.geometry.FabricGeometry` — the device floorplan.
+* :class:`~repro.fpga.device.FPGADevice` — configuration memory, configuration
+  port, loaded-region tracking and execution.
+* :class:`~repro.fpga.netlist.Netlist` / :class:`~repro.fpga.placer.Placer` —
+  mapping a function's logic onto frames.
+* :class:`~repro.fpga.bitgen.BitstreamGenerator` — producing the packetised
+  configuration bit-stream for a placement.
+"""
+
+from repro.fpga.errors import (
+    ConfigurationError,
+    FpgaError,
+    FrameCollisionError,
+    PlacementError,
+)
+from repro.fpga.geometry import FabricGeometry, FrameAddress
+from repro.fpga.lut import LookUpTable
+from repro.fpga.clb import ConfigurableLogicBlock, SwitchBox
+from repro.fpga.frame import Frame, FrameRegion
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.config_port import ConfigurationPort, PortStatistics
+from repro.fpga.netlist import Cell, CellKind, Net, Netlist
+from repro.fpga.placer import Placement, Placer, PlacementStrategy
+from repro.fpga.bitgen import BitstreamGenerator
+from repro.fpga.executor import NetlistExecutor
+from repro.fpga.device import FPGADevice, LoadedFunction
+
+__all__ = [
+    "FpgaError",
+    "ConfigurationError",
+    "FrameCollisionError",
+    "PlacementError",
+    "FabricGeometry",
+    "FrameAddress",
+    "LookUpTable",
+    "ConfigurableLogicBlock",
+    "SwitchBox",
+    "Frame",
+    "FrameRegion",
+    "ConfigurationMemory",
+    "ConfigurationPort",
+    "PortStatistics",
+    "Netlist",
+    "Net",
+    "Cell",
+    "CellKind",
+    "Placer",
+    "Placement",
+    "PlacementStrategy",
+    "BitstreamGenerator",
+    "NetlistExecutor",
+    "FPGADevice",
+    "LoadedFunction",
+]

@@ -1,0 +1,143 @@
+"""Bit-stream generation from a placed netlist.
+
+``BitstreamGenerator`` renders each frame of a placement to configuration
+bytes (using scratch :class:`~repro.fpga.frame.Frame` objects, so generation
+never touches a live device) and assembles them into the relocatable
+packetised :class:`~repro.bitstream.format.Bitstream`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bitstream.format import Bitstream, build_bitstream
+from repro.fpga.frame import Frame
+from repro.fpga.geometry import FabricGeometry, FrameAddress
+from repro.fpga.lut import LookUpTable
+from repro.fpga.netlist import Netlist
+from repro.fpga.placer import CellSite, Placement
+from repro.sim.rand import SeededRandom
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic 32-bit FNV-1a hash (``hash()`` is salted per process)."""
+    value = 0x811C9DC5
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+class BitstreamGenerator:
+    """Turns placements into configuration bit-streams."""
+
+    def __init__(self, geometry: FabricGeometry) -> None:
+        self.geometry = geometry
+
+    # ----------------------------------------------------------- rendering
+    def render_frames(self, netlist: Netlist, placement: Placement) -> List[bytes]:
+        """Per-frame configuration payloads, in the placement's region order."""
+        frame_payloads: List[bytes] = []
+        for slot, address in enumerate(placement.region):
+            scratch = Frame(self.geometry, address)
+            self._render_frame(scratch, netlist, placement, address)
+            frame_payloads.append(scratch.to_config_bytes())
+        return frame_payloads
+
+    def _render_frame(
+        self,
+        scratch: Frame,
+        netlist: Netlist,
+        placement: Placement,
+        address: FrameAddress,
+    ) -> None:
+        for cell_name in placement.cells_in_frame(address):
+            site = placement.sites[cell_name]
+            cell = netlist.cells[cell_name]
+            if cell.lut is None:
+                continue
+            clb = scratch.clbs[site.clb_index]
+            clb.luts[site.lut_index] = cell.lut
+            # Model the routing cost of the cell's fanin as switch-box bytes:
+            # one byte per fanin pin, placed deterministically so identical
+            # logic renders to identical (and therefore compressible) bytes.
+            for pin, source in enumerate(cell.fanin):
+                position = (site.lut_index * self.geometry.lut_inputs + pin) % max(
+                    1, clb.switch_box.num_bytes
+                )
+                clb.switch_box.state[position] = (_stable_hash(source) & 0x3F) | 0x40
+
+    # ------------------------------------------------------------ assembly
+    def generate(
+        self,
+        netlist: Netlist,
+        placement: Placement,
+        function_id: int,
+        input_bytes: int,
+        output_bytes: int,
+    ) -> Bitstream:
+        """Generate the relocatable partial bit-stream for *placement*."""
+        payloads = self.render_frames(netlist, placement)
+        return build_bitstream(
+            function_id=function_id,
+            function_name=netlist.name,
+            frame_payloads=payloads,
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            lut_count=netlist.lut_count,
+            partial=True,
+        )
+
+    # ----------------------------------------------- synthetic frame payloads
+    def synthetic_frames(
+        self,
+        frame_count: int,
+        lut_count: int,
+        seed: int = 0,
+        density: Optional[float] = None,
+    ) -> List[bytes]:
+        """Generate realistic-looking frame payloads without a real netlist.
+
+        Large behavioural functions (AES, FFT, ...) are not technology mapped
+        gate by gate; their bit-streams are synthesised so that the number of
+        configured LUTs matches the function's resource estimate and the byte
+        statistics (sparse, repetitive across CLBs) match real frames.  The
+        output is deterministic in *seed*.
+        """
+        if frame_count <= 0:
+            raise ValueError("synthetic bit-streams need at least one frame")
+        rng = SeededRandom(seed)
+        luts_per_frame = self.geometry.luts_per_frame
+        remaining_luts = min(lut_count, frame_count * luts_per_frame)
+        if density is not None:
+            remaining_luts = int(frame_count * luts_per_frame * max(0.0, min(1.0, density)))
+        payloads: List[bytes] = []
+        # A small pool of recurring "slice" patterns: real datapaths replicate
+        # the same slice logic across CLBs, so every CLB uses one pattern from
+        # the pool for all of its LUTs and neighbouring CLBs repeat with a
+        # short period.  This inter-CLB regularity is exactly what the
+        # symmetry-aware and dictionary codecs exploit (and plain RLE cannot).
+        pattern_pool = [rng.integer(1, (1 << 16) - 1) for _ in range(4)]
+        routing_pool = [0x40 | rng.integer(0, 0x3F) for _ in range(4)]
+        for frame_index in range(frame_count):
+            scratch = Frame(self.geometry, self.geometry.all_frames()[0])
+            luts_here = min(remaining_luts, luts_per_frame)
+            remaining_luts -= luts_here
+            placed = 0
+            for clb_index, clb in enumerate(scratch.clbs):
+                # Slices repeat in groups of four CLBs, as a bit-sliced
+                # datapath column would.
+                pool_slot = (frame_index + clb_index // 4) % len(pattern_pool)
+                pattern = pattern_pool[pool_slot]
+                if placed < luts_here:
+                    # Structured routing: the same byte positions are driven in
+                    # every CLB, with the value tied to the slice pattern.
+                    for position in range(0, clb.switch_box.num_bytes, 4):
+                        clb.switch_box.state[position] = routing_pool[pool_slot]
+                for lut_index in range(len(clb.luts)):
+                    if placed >= luts_here:
+                        break
+                    clb.luts[lut_index] = LookUpTable(self.geometry.lut_inputs, pattern)
+                    placed += 1
+            payloads.append(scratch.to_config_bytes())
+        return payloads

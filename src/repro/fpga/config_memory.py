@@ -1,0 +1,131 @@
+"""Configuration memory: the frame-addressable state behind the config port.
+
+The configuration memory owns the :class:`~repro.fpga.frame.FrameArray` and
+provides frame-granular write/readback with ownership bookkeeping so partial
+reconfiguration of one region never disturbs another.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.fpga.errors import ConfigurationError, FrameCollisionError
+from repro.fpga.frame import Frame, FrameArray, FrameRegion
+from repro.fpga.geometry import FabricGeometry, FrameAddress
+
+
+class ConfigurationMemory:
+    """Frame-addressable configuration state with ownership tracking."""
+
+    def __init__(self, geometry: FabricGeometry) -> None:
+        self.geometry = geometry
+        self.frames = FrameArray(geometry)
+        # Frame address -> owning function name (None when unowned/free).
+        self._owners: Dict[FrameAddress, Optional[str]] = {
+            address: None for address in geometry.all_frames()
+        }
+        self.total_frame_writes = 0
+        self.total_bytes_written = 0
+
+    # ------------------------------------------------------------ ownership
+    def owner_of(self, address: FrameAddress) -> Optional[str]:
+        """Function currently owning *address*, or ``None`` when free."""
+        self.geometry.validate(address)
+        return self._owners[address]
+
+    def owned_frames(self, owner: str) -> List[FrameAddress]:
+        return [address for address, name in self._owners.items() if name == owner]
+
+    def unowned_frames(self) -> List[FrameAddress]:
+        return [address for address, name in self._owners.items() if name is None]
+
+    def claim(self, region: FrameRegion, owner: str) -> None:
+        """Mark every frame of *region* as owned by *owner*.
+
+        Raises :class:`FrameCollisionError` if any frame belongs to a
+        different function — the controller must release it first.
+        """
+        conflicts: Dict[str, List[FrameAddress]] = {}
+        for address in region:
+            current = self.owner_of(address)
+            if current is not None and current != owner:
+                conflicts.setdefault(current, []).append(address)
+        if conflicts:
+            existing_owner, frames = next(iter(conflicts.items()))
+            raise FrameCollisionError(frames, existing_owner)
+        for address in region:
+            self._owners[address] = owner
+
+    def release(self, region: FrameRegion, owner: Optional[str] = None) -> None:
+        """Release ownership of *region* (optionally checking the owner)."""
+        for address in region:
+            current = self.owner_of(address)
+            if owner is not None and current is not None and current != owner:
+                raise ConfigurationError(
+                    f"cannot release {address}: owned by {current!r}, not {owner!r}"
+                )
+            self._owners[address] = None
+
+    def owners(self) -> Dict[str, List[FrameAddress]]:
+        """Map of function name -> frames it currently owns."""
+        result: Dict[str, List[FrameAddress]] = {}
+        for address, owner in self._owners.items():
+            if owner is not None:
+                result.setdefault(owner, []).append(address)
+        return result
+
+    # --------------------------------------------------------------- writes
+    def write_frame(self, address: FrameAddress, data: bytes, owner: Optional[str] = None) -> Frame:
+        """Write one frame's configuration bytes.
+
+        When *owner* is given the frame must be free or already owned by that
+        function (this is how partial reconfiguration guarantees isolation).
+        """
+        frame = self.frames[address]
+        current = self.owner_of(address)
+        if owner is not None and current is not None and current != owner:
+            raise FrameCollisionError([address], current)
+        frame.load_config_bytes(data)
+        if owner is not None:
+            self._owners[address] = owner
+        self.total_frame_writes += 1
+        self.total_bytes_written += len(data)
+        return frame
+
+    def clear_frame(self, address: FrameAddress) -> None:
+        """Erase one frame and drop its ownership."""
+        self.frames[address].clear()
+        self._owners[address] = None
+
+    def clear_region(self, region: FrameRegion) -> None:
+        for address in region:
+            self.clear_frame(address)
+
+    def clear_device(self) -> None:
+        """Full-device erase (what a *full* reconfiguration starts with)."""
+        for address in self.geometry.all_frames():
+            self.clear_frame(address)
+
+    # ------------------------------------------------------------- readback
+    def read_frame(self, address: FrameAddress) -> bytes:
+        """Configuration readback of a single frame."""
+        return self.frames[address].to_config_bytes()
+
+    def read_region(self, region: FrameRegion) -> List[bytes]:
+        return [self.read_frame(address) for address in region]
+
+    def readback_device(self) -> Dict[FrameAddress, bytes]:
+        return self.frames.snapshot()
+
+    # ------------------------------------------------------------ statistics
+    def utilisation(self) -> float:
+        """Fraction of frames currently owned by some function."""
+        owned = sum(1 for owner in self._owners.values() if owner is not None)
+        return owned / self.geometry.frame_count
+
+    def describe(self) -> str:
+        owned = self.owners()
+        parts = [f"{name}:{len(frames)}f" for name, frames in sorted(owned.items())]
+        free = self.geometry.frame_count - sum(len(frames) for frames in owned.values())
+        parts.append(f"free:{free}f")
+        return ", ".join(parts)

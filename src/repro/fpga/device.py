@@ -1,0 +1,255 @@
+"""The partially reconfigurable FPGA device.
+
+:class:`FPGADevice` ties together the configuration memory, the configuration
+port and the execution of loaded functions.  Its contract mirrors the paper's
+description of partial reconfiguration:
+
+* configuring a region only touches that region's frames — every other loaded
+  function stays bound and executable throughout;
+* a function becomes executable only after a complete, CRC-valid bit-stream
+  for it has been written and the controller has bound an executor to the
+  region;
+* erasing or overwriting any frame of a region invalidates that region's
+  binding (the function must be reloaded before it can run again).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bitstream.format import Bitstream
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.config_port import ConfigurationPort
+from repro.fpga.errors import ConfigurationError, ExecutionError, FrameCollisionError
+from repro.fpga.executor import FunctionExecutor
+from repro.fpga.frame import FrameRegion
+from repro.fpga.geometry import FabricGeometry, FrameAddress
+from repro.sim.clock import Clock, ClockDomain
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class LoadedFunction:
+    """Book-keeping for one function currently realised on the fabric."""
+
+    name: str
+    function_id: int
+    region: FrameRegion
+    executor: FunctionExecutor
+    loaded_at_ns: float
+    executions: int = 0
+    total_cycles: int = 0
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.region)
+
+
+class FPGADevice:
+    """Behavioural model of the partially reconfigurable FPGA chip."""
+
+    def __init__(
+        self,
+        geometry: FabricGeometry,
+        clock: Optional[Clock] = None,
+        fabric_clock_hz: float = 100e6,
+        config_clock_hz: float = 50e6,
+        config_port_width_bytes: int = 1,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.clock = clock if clock is not None else Clock()
+        self.fabric_domain = ClockDomain("fabric", fabric_clock_hz)
+        self.memory = ConfigurationMemory(geometry)
+        self.port = ConfigurationPort(
+            self.memory,
+            self.clock,
+            config_clock_hz=config_clock_hz,
+            port_width_bytes=config_port_width_bytes,
+        )
+        self.trace = trace if trace is not None else TraceRecorder(self.clock, enabled=False)
+        self._loaded: Dict[str, LoadedFunction] = {}
+        self.total_configurations = 0
+        self.total_partial_configurations = 0
+        self.total_executions = 0
+
+    # ------------------------------------------------------------ inventory
+    @property
+    def loaded_functions(self) -> Dict[str, LoadedFunction]:
+        """Functions currently bound and executable, keyed by name."""
+        return dict(self._loaded)
+
+    def is_loaded(self, name: str) -> bool:
+        return name in self._loaded
+
+    def region_of(self, name: str) -> FrameRegion:
+        try:
+            return self._loaded[name].region
+        except KeyError:
+            raise ExecutionError(f"function {name!r} is not loaded on the fabric") from None
+
+    def free_frames(self) -> List[FrameAddress]:
+        """Frames not owned by any function (candidate placement sites)."""
+        return self.memory.unowned_frames()
+
+    # -------------------------------------------------------- configuration
+    def configure_partial(
+        self,
+        bitstream: Bitstream,
+        region: FrameRegion,
+        executor: FunctionExecutor,
+    ) -> float:
+        """Apply a partial bit-stream to *region* and bind *executor* to it.
+
+        Returns the time spent on the configuration port.  Raises
+        :class:`FrameCollisionError` if the region overlaps frames owned by a
+        *different* loaded function, and :class:`ConfigurationError` if the
+        region size does not match the bit-stream.
+        """
+        if len(region) != bitstream.header.frame_count:
+            raise ConfigurationError(
+                f"bit-stream for {bitstream.header.function_name!r} covers "
+                f"{bitstream.header.frame_count} frames but the region has {len(region)}"
+            )
+        name = bitstream.header.function_name
+        started = self.clock.now
+        # Loading over frames owned by *other* live functions is refused; the
+        # controller must evict them first.
+        for address in region:
+            owner = self.memory.owner_of(address)
+            if owner is not None and owner != name:
+                raise FrameCollisionError([address], owner)
+        # Reloading an already-resident function releases its previous region
+        # first so stale frames never stay claimed.
+        if name in self._loaded and set(self._loaded[name].region) != set(region):
+            self.unload(name)
+        self.port.begin_session(name)
+        try:
+            for address, payload in zip(region, bitstream.frames):
+                self.port.write_frame(address, payload)
+            self.port.end_session(expected_crc=bitstream.payload_crc)
+        except ConfigurationError:
+            self.port.abort_session()
+            self.memory.release(region, owner=name)
+            raise
+        self.memory.claim(region, name)
+        self._loaded[name] = LoadedFunction(
+            name=name,
+            function_id=bitstream.header.function_id,
+            region=region,
+            executor=executor,
+            loaded_at_ns=self.clock.now,
+        )
+        self.total_configurations += 1
+        self.total_partial_configurations += 1
+        elapsed = self.clock.now - started
+        self.trace.record("fpga", "configure_partial", started, self.clock.now, function=name, frames=len(region))
+        return elapsed
+
+    def configure_full(self, bitstream: Bitstream, executor: FunctionExecutor) -> float:
+        """Full reconfiguration: erase the whole device, then load one function.
+
+        Used by the full-reconfiguration baseline — every previously loaded
+        function is lost, which is precisely the cost the paper's partial
+        approach avoids.
+        """
+        started = self.clock.now
+        self.unload_all()
+        # A full configuration rewrites every frame on the device: the ones
+        # carrying the function plus the erased remainder.
+        region_addresses = [
+            self.geometry.frame_at(index) for index in range(bitstream.header.frame_count)
+        ]
+        region = FrameRegion.from_addresses(region_addresses)
+        name = bitstream.header.function_name
+        blank = bytes(self.geometry.frame_config_bytes)
+        self.port.begin_session(name)
+        try:
+            for address, payload in zip(region, bitstream.frames):
+                self.port.write_frame(address, payload)
+            for index in range(bitstream.header.frame_count, self.geometry.frame_count):
+                self.port.write_frame(self.geometry.frame_at(index), blank)
+            self.port.end_session(expected_crc=None)
+        except ConfigurationError:
+            self.port.abort_session()
+            raise
+        # The blank remainder of the device is not owned by the function.
+        blank_addresses = [
+            self.geometry.frame_at(index)
+            for index in range(bitstream.header.frame_count, self.geometry.frame_count)
+        ]
+        if blank_addresses:
+            self.memory.release(FrameRegion.from_addresses(blank_addresses))
+        self.memory.claim(region, name)
+        self._loaded[name] = LoadedFunction(
+            name=name,
+            function_id=bitstream.header.function_id,
+            region=region,
+            executor=executor,
+            loaded_at_ns=self.clock.now,
+        )
+        self.total_configurations += 1
+        elapsed = self.clock.now - started
+        self.trace.record("fpga", "configure_full", started, self.clock.now, function=name)
+        return elapsed
+
+    # --------------------------------------------------------------- unload
+    def unload(self, name: str) -> FrameRegion:
+        """Unbind *name* and release (and erase) its frames.
+
+        Returns the region that became free.
+        """
+        try:
+            loaded = self._loaded.pop(name)
+        except KeyError:
+            raise ExecutionError(f"cannot unload {name!r}: it is not loaded") from None
+        self.memory.clear_region(loaded.region)
+        return loaded.region
+
+    def unload_all(self) -> None:
+        for name in list(self._loaded):
+            self.unload(name)
+
+    # -------------------------------------------------------------- execute
+    def execute(self, name: str, input_bytes: bytes) -> Tuple[bytes, float]:
+        """Run the loaded function *name* on *input_bytes*.
+
+        Returns (output bytes, fabric time in ns) and advances the clock by
+        the fabric time.
+        """
+        try:
+            loaded = self._loaded[name]
+        except KeyError:
+            raise ExecutionError(f"function {name!r} is not loaded on the fabric") from None
+        started = self.clock.now
+        output, cycles = loaded.executor.run(input_bytes)
+        elapsed = self.fabric_domain.cycles_to_ns(cycles)
+        self.clock.advance(elapsed)
+        loaded.executions += 1
+        loaded.total_cycles += cycles
+        self.total_executions += 1
+        self.trace.record("fpga", "execute", started, self.clock.now, function=name, cycles=cycles)
+        return output, elapsed
+
+    # ------------------------------------------------------------- readback
+    def readback(self, name: str) -> List[bytes]:
+        """Configuration readback of the frames owned by *name*."""
+        return self.memory.read_region(self.region_of(name))
+
+    def verify_readback(self, name: str, bitstream: Bitstream) -> bool:
+        """Compare the live configuration of *name* against its bit-stream."""
+        return self.readback(name) == list(bitstream.frames)
+
+    # ------------------------------------------------------------ reporting
+    def utilisation(self) -> float:
+        return self.memory.utilisation()
+
+    def describe(self) -> str:
+        lines = [self.geometry.describe()]
+        for name, loaded in sorted(self._loaded.items()):
+            lines.append(
+                f"  {name}: {loaded.frame_count} frames, {loaded.executions} executions"
+            )
+        lines.append(f"  free frames: {len(self.free_frames())}/{self.geometry.frame_count}")
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the FPGA model."""
+
+from __future__ import annotations
+
+
+class FpgaError(Exception):
+    """Base class for every error raised by :mod:`repro.fpga`."""
+
+
+class ConfigurationError(FpgaError):
+    """A configuration bit-stream could not be applied to the device.
+
+    Raised for CRC mismatches, out-of-range frame addresses, truncated frame
+    data, or writes attempted while the configuration port is held in reset.
+    """
+
+
+class FrameCollisionError(ConfigurationError):
+    """A partial bit-stream targets frames still owned by a loaded function.
+
+    The mini OS must free (or deliberately evict) the frames first; writing
+    over a live function without doing so is a programming error in the
+    controller, so the device model refuses it loudly.
+    """
+
+    def __init__(self, frames, owner: str) -> None:
+        self.frames = tuple(frames)
+        self.owner = owner
+        super().__init__(
+            f"frames {sorted(self.frames)} are still owned by function {owner!r}"
+        )
+
+
+class PlacementError(FpgaError):
+    """The placer could not fit a netlist into the frames it was offered."""
+
+
+class ExecutionError(FpgaError):
+    """A loaded function failed to execute (bad input size, unbound region)."""

@@ -1,0 +1,154 @@
+"""Execution of logic loaded on the fabric.
+
+Two executor kinds implement the same small protocol (``run(input_bytes) ->
+(output_bytes, cycles)``):
+
+* :class:`NetlistExecutor` genuinely evaluates a placed netlist LUT by LUT.
+  It is used for the functions whose netlists are real (CRC, parity, adders)
+  and by the tests that prove configuration bytes on the fabric correspond to
+  working logic.
+* :class:`BehaviouralExecutor` wraps a Python reference model plus an explicit
+  cycle-count model.  It is used for the large functions (AES, FFT, ...) whose
+  gate-level mapping is out of scope but whose *timing footprint* — cycles as
+  a function of input size — is what the co-processor experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.fpga.errors import ExecutionError
+from repro.fpga.netlist import Cell, CellKind, Netlist
+
+
+class FunctionExecutor(Protocol):
+    """Anything the device can invoke once a function is loaded."""
+
+    def run(self, input_bytes: bytes) -> Tuple[bytes, int]:
+        """Execute on *input_bytes*; returns (output_bytes, fabric_cycles)."""
+        ...
+
+
+def bytes_to_bits(data: bytes, bit_count: int) -> List[bool]:
+    """Little-endian byte order, LSB-first within each byte."""
+    bits: List[bool] = []
+    for byte in data:
+        for position in range(8):
+            bits.append((byte >> position) & 1 == 1)
+            if len(bits) == bit_count:
+                return bits
+    while len(bits) < bit_count:
+        bits.append(False)
+    return bits
+
+
+def bits_to_bytes(bits: Sequence[bool]) -> bytes:
+    """Inverse of :func:`bytes_to_bits` (padded to whole bytes)."""
+    out = bytearray((len(bits) + 7) // 8)
+    for index, bit in enumerate(bits):
+        if bit:
+            out[index // 8] |= 1 << (index % 8)
+    return bytes(out)
+
+
+class NetlistExecutor:
+    """Cycle-by-cycle evaluation of a mapped netlist.
+
+    Each call to :meth:`run` applies the input bits to the primary inputs,
+    evaluates the combinational LUT network in topological order, clocks the
+    flip-flops once per cycle for ``cycles`` cycles, and samples the primary
+    outputs.  Purely combinational netlists use a single evaluation.
+    """
+
+    def __init__(self, netlist: Netlist, cycles: int = 1) -> None:
+        if cycles < 1:
+            raise ValueError("a netlist executes for at least one cycle")
+        netlist.validate()
+        self.netlist = netlist
+        self.cycles = cycles
+        self._order = netlist.topological_lut_order()
+        self._state: Dict[str, bool] = {
+            cell.output_net: False for cell in netlist.flip_flop_cells if cell.output_net
+        }
+
+    @property
+    def input_bits(self) -> int:
+        return len(self.netlist.inputs)
+
+    @property
+    def output_bits(self) -> int:
+        return len(self.netlist.outputs)
+
+    def reset(self) -> None:
+        """Clear all flip-flop state."""
+        for key in self._state:
+            self._state[key] = False
+
+    def _evaluate_once(self, input_values: Dict[str, bool]) -> Dict[str, bool]:
+        values: Dict[str, bool] = dict(self._state)
+        values.update(input_values)
+        for cell in self._order:
+            assert cell.lut is not None and cell.output_net is not None
+            inputs = [values.get(source, False) for source in cell.fanin]
+            values[cell.output_net] = cell.lut.evaluate(inputs)
+        return values
+
+    def step(self, input_values: Dict[str, bool]) -> Dict[str, bool]:
+        """Advance one clock cycle; returns the net values after the cycle."""
+        values = self._evaluate_once(input_values)
+        for cell in self.netlist.flip_flop_cells:
+            assert cell.output_net is not None
+            data_net = cell.fanin[0]
+            self._state[cell.output_net] = values.get(data_net, False)
+        return values
+
+    def run(self, input_bytes: bytes) -> Tuple[bytes, int]:
+        expected_bytes = (self.input_bits + 7) // 8
+        if len(input_bytes) != expected_bytes:
+            raise ExecutionError(
+                f"netlist {self.netlist.name!r} expects {expected_bytes} input bytes, "
+                f"got {len(input_bytes)}"
+            )
+        self.reset()
+        input_bits = bytes_to_bits(input_bytes, self.input_bits)
+        input_values = dict(zip(self.netlist.inputs, input_bits))
+        values: Dict[str, bool] = {}
+        for _ in range(self.cycles):
+            values = self.step(input_values)
+        output_bits = [values.get(net, False) for net in self.netlist.outputs]
+        return bits_to_bytes(output_bits), self.cycles
+
+
+@dataclass
+class CycleModel:
+    """Cycles a behavioural function charges: ``base + per_byte * input_len``.
+
+    ``pipeline_depth`` adds a fixed fill latency on the first block of a
+    batch; batched calls amortise it, which is what E5 measures.
+    """
+
+    base_cycles: int = 16
+    cycles_per_byte: float = 1.0
+    pipeline_depth: int = 0
+
+    def cycles_for(self, input_length: int) -> int:
+        return int(self.base_cycles + self.pipeline_depth + self.cycles_per_byte * input_length)
+
+
+class BehaviouralExecutor:
+    """Reference-model execution with an explicit cycle-count model."""
+
+    def __init__(
+        self,
+        name: str,
+        behaviour: Callable[[bytes], bytes],
+        cycle_model: Optional[CycleModel] = None,
+    ) -> None:
+        self.name = name
+        self.behaviour = behaviour
+        self.cycle_model = cycle_model if cycle_model is not None else CycleModel()
+
+    def run(self, input_bytes: bytes) -> Tuple[bytes, int]:
+        output = self.behaviour(input_bytes)
+        return output, self.cycle_model.cycles_for(len(input_bytes))

@@ -1,0 +1,169 @@
+"""Frames and frame regions.
+
+A :class:`Frame` owns the CLBs (and their switch boxes) covered by one frame
+address and knows how to serialise / deserialise its configuration bytes.  A
+:class:`FrameRegion` is the set of frames assigned to one loaded function —
+the paper explicitly allows the set to be non-contiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.fpga.clb import ConfigurableLogicBlock
+from repro.fpga.geometry import FabricGeometry, FrameAddress
+
+
+class Frame:
+    """One reconfiguration quantum: a column-aligned group of CLBs."""
+
+    def __init__(self, geometry: FabricGeometry, address: FrameAddress) -> None:
+        geometry.validate(address)
+        self.geometry = geometry
+        self.address = address
+        self.clbs: List[ConfigurableLogicBlock] = [
+            ConfigurableLogicBlock(
+                geometry.luts_per_clb, geometry.lut_inputs, geometry.switch_bytes_per_clb
+            )
+            for _ in range(geometry.clbs_per_frame)
+        ]
+
+    @property
+    def flat_index(self) -> int:
+        return self.address.flat_index(self.geometry.tiles_per_column)
+
+    @property
+    def config_byte_length(self) -> int:
+        return self.geometry.frame_config_bytes
+
+    def clear(self) -> None:
+        """Erase every CLB in the frame (the all-zero configuration)."""
+        for clb in self.clbs:
+            clb.clear()
+
+    @property
+    def is_clear(self) -> bool:
+        return all(clb.is_clear for clb in self.clbs)
+
+    def to_config_bytes(self) -> bytes:
+        """Serialise the frame in CLB order."""
+        return b"".join(clb.to_config_bytes() for clb in self.clbs)
+
+    def load_config_bytes(self, data: bytes) -> None:
+        """Apply a frame-sized slice of configuration data to the CLBs."""
+        expected = self.config_byte_length
+        if len(data) != expected:
+            raise ValueError(
+                f"frame {self.address} expects {expected} config bytes, got {len(data)}"
+            )
+        per_clb = self.geometry.clb_config_bytes
+        for index, clb in enumerate(self.clbs):
+            chunk = data[index * per_clb : (index + 1) * per_clb]
+            clb.load_config_bytes(chunk)
+
+    def lut_utilisation(self) -> float:
+        """Fraction of LUTs in this frame holding non-trivial logic."""
+        total = 0
+        used = 0
+        for clb in self.clbs:
+            for lut in clb.luts:
+                total += 1
+                if lut.as_integer() != 0:
+                    used += 1
+        return used / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Frame({self.address}, {'clear' if self.is_clear else 'configured'})"
+
+
+@dataclass(frozen=True)
+class FrameRegion:
+    """An ordered set of frame addresses occupied by one function.
+
+    The region remembers the order frames were assigned in, because the
+    bit-stream's frame-data packets are emitted in that order.
+    """
+
+    addresses: Tuple[FrameAddress, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.addresses)) != len(self.addresses):
+            raise ValueError("frame region contains duplicate frame addresses")
+
+    @classmethod
+    def from_addresses(cls, addresses: Iterable[FrameAddress]) -> "FrameRegion":
+        return cls(tuple(addresses))
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self) -> Iterator[FrameAddress]:
+        return iter(self.addresses)
+
+    def __contains__(self, address: FrameAddress) -> bool:
+        return address in self.addresses
+
+    def flat_indices(self, geometry: FabricGeometry) -> List[int]:
+        return [address.flat_index(geometry.tiles_per_column) for address in self.addresses]
+
+    def is_contiguous(self, geometry: FabricGeometry) -> bool:
+        """True when the flat indices form a single run with no gaps."""
+        indices = sorted(self.flat_indices(geometry))
+        if not indices:
+            return True
+        return indices[-1] - indices[0] + 1 == len(indices)
+
+    def overlaps(self, other: "FrameRegion") -> bool:
+        return bool(set(self.addresses) & set(other.addresses))
+
+    def intersection(self, other: "FrameRegion") -> Tuple[FrameAddress, ...]:
+        mine = set(self.addresses)
+        return tuple(addr for addr in other.addresses if addr in mine)
+
+    def union(self, other: "FrameRegion") -> "FrameRegion":
+        combined = list(self.addresses)
+        for address in other.addresses:
+            if address not in combined:
+                combined.append(address)
+        return FrameRegion(tuple(combined))
+
+    def describe(self) -> str:
+        return "{" + ", ".join(str(address) for address in self.addresses) + "}"
+
+
+class FrameArray:
+    """The full set of frames on a device, indexed by address."""
+
+    def __init__(self, geometry: FabricGeometry) -> None:
+        self.geometry = geometry
+        self._frames: Dict[FrameAddress, Frame] = {
+            address: Frame(geometry, address) for address in geometry.all_frames()
+        }
+
+    def __getitem__(self, address: FrameAddress) -> Frame:
+        try:
+            return self._frames[address]
+        except KeyError:
+            raise IndexError(f"{address} does not exist on this fabric") from None
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self._frames.values())
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def by_flat_index(self, index: int) -> Frame:
+        return self[self.geometry.frame_at(index)]
+
+    def region(self, region: FrameRegion) -> List[Frame]:
+        """The frame objects of a region, in region order."""
+        return [self[address] for address in region]
+
+    def clear_region(self, region: FrameRegion) -> None:
+        for frame in self.region(region):
+            frame.clear()
+
+    def snapshot(self) -> Dict[FrameAddress, bytes]:
+        """Full configuration readback: address -> frame bytes."""
+        return {address: frame.to_config_bytes() for address, frame in self._frames.items()}

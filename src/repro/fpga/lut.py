@@ -1,0 +1,126 @@
+"""Look-up table model.
+
+LUTs are the unit of programmable logic inside a CLB: a ``k``-input LUT stores
+``2**k`` truth-table bits and evaluates any boolean function of its inputs.
+The netlist executor uses these objects to actually evaluate small mapped
+designs, which is how the tests prove the fabric realises real logic rather
+than merely storing bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class LookUpTable:
+    """A k-input LUT with an explicit truth table.
+
+    The truth table is stored as a list of ``2**k`` booleans indexed by the
+    integer formed from the inputs (input 0 is the least significant bit).
+    """
+
+    def __init__(self, inputs: int, truth_table: Sequence[bool] | int = 0) -> None:
+        if inputs <= 0:
+            raise ValueError("a LUT needs at least one input")
+        if inputs > 8:
+            raise ValueError("LUTs wider than 8 inputs are not modelled")
+        self.inputs = inputs
+        self.size = 1 << inputs
+        if isinstance(truth_table, int):
+            self._table = [(truth_table >> i) & 1 == 1 for i in range(self.size)]
+        else:
+            table = list(truth_table)
+            if len(table) != self.size:
+                raise ValueError(
+                    f"truth table for a {inputs}-input LUT must have {self.size} entries"
+                )
+            self._table = [bool(bit) for bit in table]
+
+    # -------------------------------------------------------------- queries
+    def evaluate(self, input_bits: Sequence[bool]) -> bool:
+        """Evaluate the LUT for the given input vector."""
+        if len(input_bits) != self.inputs:
+            raise ValueError(
+                f"expected {self.inputs} input bits, got {len(input_bits)}"
+            )
+        index = 0
+        for position, bit in enumerate(input_bits):
+            if bit:
+                index |= 1 << position
+        return self._table[index]
+
+    @property
+    def truth_table(self) -> List[bool]:
+        return list(self._table)
+
+    def as_integer(self) -> int:
+        """Truth table packed into an integer (bit i = output for input i)."""
+        value = 0
+        for index, bit in enumerate(self._table):
+            if bit:
+                value |= 1 << index
+        return value
+
+    def to_bytes(self) -> bytes:
+        """Truth table packed little-endian, padded to whole bytes."""
+        value = self.as_integer()
+        length = max(1, self.size // 8)
+        return value.to_bytes(length, "little")
+
+    @classmethod
+    def from_bytes(cls, inputs: int, data: bytes) -> "LookUpTable":
+        """Inverse of :meth:`to_bytes`."""
+        return cls(inputs, int.from_bytes(data, "little"))
+
+    def is_constant(self) -> bool:
+        """True when the LUT ignores its inputs entirely."""
+        return all(self._table) or not any(self._table)
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def constant(cls, inputs: int, value: bool) -> "LookUpTable":
+        return cls(inputs, [value] * (1 << inputs))
+
+    @classmethod
+    def from_function(cls, inputs: int, function) -> "LookUpTable":
+        """Build a LUT by evaluating *function(bits)* over every input vector.
+
+        >>> lut = LookUpTable.from_function(2, lambda bits: bits[0] ^ bits[1])
+        >>> lut.evaluate([True, False])
+        True
+        """
+        table = []
+        for index in range(1 << inputs):
+            bits = [(index >> position) & 1 == 1 for position in range(inputs)]
+            table.append(bool(function(bits)))
+        return cls(inputs, table)
+
+    @classmethod
+    def logic_and(cls, inputs: int) -> "LookUpTable":
+        return cls.from_function(inputs, all)
+
+    @classmethod
+    def logic_or(cls, inputs: int) -> "LookUpTable":
+        return cls.from_function(inputs, any)
+
+    @classmethod
+    def logic_xor(cls, inputs: int) -> "LookUpTable":
+        return cls.from_function(inputs, lambda bits: sum(bits) % 2 == 1)
+
+    @classmethod
+    def passthrough(cls, inputs: int, which: int = 0) -> "LookUpTable":
+        """A LUT that copies input *which* to its output."""
+        if not 0 <= which < inputs:
+            raise ValueError("passthrough input index out of range")
+        return cls.from_function(inputs, lambda bits: bits[which])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LookUpTable):
+            return NotImplemented
+        return self.inputs == other.inputs and self._table == other._table
+
+    def __hash__(self) -> int:
+        return hash((self.inputs, self.as_integer()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"LookUpTable(inputs={self.inputs}, table=0x{self.as_integer():x})"

@@ -1,0 +1,27 @@
+"""Cryptographic hardware functions.
+
+Algorithm-agile co-processors were originally motivated by cryptography (the
+paper cites an algorithm-agile crypto co-processor and an adaptive IPSec
+engine), so the default bank is crypto-heavy: AES-128, DES, SHA-1, SHA-256 and
+RSA-style modular exponentiation, each implemented from scratch so the models
+are self-contained and testable against published vectors.
+"""
+
+from repro.functions.crypto.aes import Aes128, AesFunction
+from repro.functions.crypto.des import Des, DesFunction
+from repro.functions.crypto.sha1 import Sha1, Sha1Function
+from repro.functions.crypto.sha256 import Sha256, Sha256Function
+from repro.functions.crypto.modexp import ModExpFunction, modular_exponentiation
+
+__all__ = [
+    "Aes128",
+    "AesFunction",
+    "Des",
+    "DesFunction",
+    "Sha1",
+    "Sha1Function",
+    "Sha256",
+    "Sha256Function",
+    "ModExpFunction",
+    "modular_exponentiation",
+]

@@ -1,0 +1,265 @@
+"""AES-128 implemented from scratch (FIPS-197).
+
+The hardware function encrypts data in ECB mode with a key baked into the
+configuration (real algorithm-agile crypto engines load the key alongside the
+bit-stream).  The implementation is table-free except for the S-box, which is
+computed at import time from the finite-field definition rather than pasted
+as a constant, so the model is self-contained and auditable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.fpga.executor import CycleModel
+from repro.functions.base import FunctionCategory, FunctionSpec, HardwareFunction
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. {02}) in GF(2^8) with the AES polynomial."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_multiply(a: int, b: int) -> int:
+    """Multiplication in GF(2^8) with the AES reduction polynomial."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a = _xtime(a)
+    return result & 0xFF
+
+
+def _gf_inverse(value: int) -> int:
+    """Multiplicative inverse in GF(2^8) (0 maps to 0)."""
+    if value == 0:
+        return 0
+    # Exponentiation: value^254 = value^-1 in GF(2^8).
+    result = 1
+    base = value
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_multiply(result, base)
+        base = _gf_multiply(base, base)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> List[int]:
+    """Construct the AES S-box from inversion + affine transform."""
+    sbox = []
+    for value in range(256):
+        inverse = _gf_inverse(value)
+        transformed = 0
+        for bit in range(8):
+            parity = (
+                (inverse >> bit)
+                ^ (inverse >> ((bit + 4) % 8))
+                ^ (inverse >> ((bit + 5) % 8))
+                ^ (inverse >> ((bit + 6) % 8))
+                ^ (inverse >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= parity << bit
+        sbox.append(transformed)
+    return sbox
+
+
+_SBOX = _build_sbox()
+_INV_SBOX = [0] * 256
+for _index, _value in enumerate(_SBOX):
+    _INV_SBOX[_value] = _index
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+class Aes128:
+    """AES-128 block cipher (encrypt and decrypt a single 16-byte block)."""
+
+    BLOCK_BYTES = 16
+    ROUNDS = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError("AES-128 needs a 16-byte key")
+        self.key = key
+        self._round_keys = self._expand_key(key)
+
+    # ---------------------------------------------------------- key schedule
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for index in range(4, 4 * (Aes128.ROUNDS + 1)):
+            previous = list(words[index - 1])
+            if index % 4 == 0:
+                previous = previous[1:] + previous[:1]
+                previous = [_SBOX[b] for b in previous]
+                previous[0] ^= _RCON[index // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[index - 4], previous)])
+        round_keys = []
+        for round_index in range(Aes128.ROUNDS + 1):
+            round_key = []
+            for word in words[4 * round_index : 4 * round_index + 4]:
+                round_key.extend(word)
+            round_keys.append(round_key)
+        return round_keys
+
+    # ------------------------------------------------------------ primitives
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> List[int]:
+        return [_SBOX[b] for b in state]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> List[int]:
+        return [_INV_SBOX[b] for b in state]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        # State is column-major (FIPS-197): byte index = row + 4*col.
+        out = list(state)
+        for row in range(1, 4):
+            values = [state[row + 4 * col] for col in range(4)]
+            values = values[row:] + values[:row]
+            for col in range(4):
+                out[row + 4 * col] = values[col]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        out = list(state)
+        for row in range(1, 4):
+            values = [state[row + 4 * col] for col in range(4)]
+            values = values[-row:] + values[:-row]
+            for col in range(4):
+                out[row + 4 * col] = values[col]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> List[int]:
+        out = [0] * 16
+        for col in range(4):
+            column = state[4 * col : 4 * col + 4]
+            out[4 * col + 0] = (
+                _gf_multiply(column[0], 2) ^ _gf_multiply(column[1], 3) ^ column[2] ^ column[3]
+            )
+            out[4 * col + 1] = (
+                column[0] ^ _gf_multiply(column[1], 2) ^ _gf_multiply(column[2], 3) ^ column[3]
+            )
+            out[4 * col + 2] = (
+                column[0] ^ column[1] ^ _gf_multiply(column[2], 2) ^ _gf_multiply(column[3], 3)
+            )
+            out[4 * col + 3] = (
+                _gf_multiply(column[0], 3) ^ column[1] ^ column[2] ^ _gf_multiply(column[3], 2)
+            )
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> List[int]:
+        out = [0] * 16
+        for col in range(4):
+            column = state[4 * col : 4 * col + 4]
+            out[4 * col + 0] = (
+                _gf_multiply(column[0], 14)
+                ^ _gf_multiply(column[1], 11)
+                ^ _gf_multiply(column[2], 13)
+                ^ _gf_multiply(column[3], 9)
+            )
+            out[4 * col + 1] = (
+                _gf_multiply(column[0], 9)
+                ^ _gf_multiply(column[1], 14)
+                ^ _gf_multiply(column[2], 11)
+                ^ _gf_multiply(column[3], 13)
+            )
+            out[4 * col + 2] = (
+                _gf_multiply(column[0], 13)
+                ^ _gf_multiply(column[1], 9)
+                ^ _gf_multiply(column[2], 14)
+                ^ _gf_multiply(column[3], 11)
+            )
+            out[4 * col + 3] = (
+                _gf_multiply(column[0], 11)
+                ^ _gf_multiply(column[1], 13)
+                ^ _gf_multiply(column[2], 9)
+                ^ _gf_multiply(column[3], 14)
+            )
+        return out
+
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: Sequence[int]) -> List[int]:
+        return [a ^ b for a, b in zip(state, round_key)]
+
+    # ----------------------------------------------------------- block level
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != self.BLOCK_BYTES:
+            raise ValueError("AES blocks are 16 bytes")
+        state = self._add_round_key(list(block), self._round_keys[0])
+        for round_index in range(1, self.ROUNDS):
+            state = self._sub_bytes(state)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = self._add_round_key(state, self._round_keys[round_index])
+        state = self._sub_bytes(state)
+        state = self._shift_rows(state)
+        state = self._add_round_key(state, self._round_keys[self.ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != self.BLOCK_BYTES:
+            raise ValueError("AES blocks are 16 bytes")
+        state = self._add_round_key(list(block), self._round_keys[self.ROUNDS])
+        for round_index in range(self.ROUNDS - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = self._inv_sub_bytes(state)
+            state = self._add_round_key(state, self._round_keys[round_index])
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        state = self._inv_sub_bytes(state)
+        state = self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    # ------------------------------------------------------------- messages
+    def encrypt_ecb(self, data: bytes) -> bytes:
+        """ECB over zero-padded data (the hardware datapath's behaviour)."""
+        padded = data + b"\x00" * ((-len(data)) % self.BLOCK_BYTES)
+        out = bytearray()
+        for start in range(0, len(padded), self.BLOCK_BYTES):
+            out.extend(self.encrypt_block(padded[start : start + self.BLOCK_BYTES]))
+        return bytes(out)
+
+    def decrypt_ecb(self, data: bytes) -> bytes:
+        if len(data) % self.BLOCK_BYTES:
+            raise ValueError("ECB ciphertext must be a whole number of blocks")
+        out = bytearray()
+        for start in range(0, len(data), self.BLOCK_BYTES):
+            out.extend(self.decrypt_block(data[start : start + self.BLOCK_BYTES]))
+        return bytes(out)
+
+
+#: Key baked into the default bank's AES core (the FIPS-197 example key).
+DEFAULT_AES_KEY = bytes(range(16))
+
+
+class AesFunction(HardwareFunction):
+    """AES-128 ECB encryption as an on-demand hardware function."""
+
+    def __init__(self, function_id: int = 1, key: bytes = DEFAULT_AES_KEY) -> None:
+        spec = FunctionSpec(
+            name="aes128",
+            function_id=function_id,
+            description="AES-128 ECB encryption with a configuration-time key",
+            category=FunctionCategory.CRYPTO,
+            input_bytes=16,
+            output_bytes=16,
+            lut_estimate=2400,
+            cycle_model=CycleModel(base_cycles=12, cycles_per_byte=11.0 / 16.0, pipeline_depth=10),
+        )
+        super().__init__(spec)
+        self.cipher = Aes128(key)
+
+    def behaviour(self, data: bytes) -> bytes:
+        return self.cipher.encrypt_ecb(data)

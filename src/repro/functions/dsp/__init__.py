@@ -1,0 +1,14 @@
+"""DSP hardware functions: FIR filtering, FFT and matrix multiplication."""
+
+from repro.functions.dsp.fir import FirFilter, FirFunction
+from repro.functions.dsp.fft import fft_radix2, FftFunction
+from repro.functions.dsp.matmul import MatMulFunction, matrix_multiply
+
+__all__ = [
+    "FirFilter",
+    "FirFunction",
+    "fft_radix2",
+    "FftFunction",
+    "MatMulFunction",
+    "matrix_multiply",
+]

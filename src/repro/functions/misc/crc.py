@@ -1,0 +1,32 @@
+"""CRC-32 hardware function.
+
+Reuses the table-driven CRC-32 engine from :mod:`repro.bitstream.crc` so the
+checker used on configuration bit-streams and the hardware function offered to
+the host are provably the same arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.bitstream.crc import crc32
+from repro.fpga.executor import CycleModel
+from repro.functions.base import FunctionCategory, FunctionSpec, HardwareFunction
+
+
+class Crc32Function(HardwareFunction):
+    """CRC-32 (IEEE) over the whole input buffer; 4-byte big-endian result."""
+
+    def __init__(self, function_id: int = 9) -> None:
+        spec = FunctionSpec(
+            name="crc32",
+            function_id=function_id,
+            description="CRC-32 (IEEE 802.3) checksum of the input buffer",
+            category=FunctionCategory.MISC,
+            input_bytes=64,
+            output_bytes=4,
+            lut_estimate=220,
+            cycle_model=CycleModel(base_cycles=4, cycles_per_byte=1.0, pipeline_depth=2),
+        )
+        super().__init__(spec)
+
+    def behaviour(self, data: bytes) -> bytes:
+        return crc32(data).to_bytes(4, "big")

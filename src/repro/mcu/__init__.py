@@ -1,0 +1,51 @@
+"""The PCI microcontroller and its mini OS.
+
+The microcontroller is the card's orchestrator: it accepts commands from the
+host over PCI, fetches compressed bit-streams from the ROM, drives the
+configuration module (windowed decompression into the FPGA configuration
+port), moves input/output data through the data modules and the local RAM,
+and runs the mini OS that decides *where* a requested function goes — the
+free frame list, the frame replacement table and the frame replacement
+policy of Section 2.5 of the paper.
+"""
+
+from repro.mcu.commands import CommandKind, Command, CommandError
+from repro.mcu.config_module import ConfigurationModule, ReconfigurationReport
+from repro.mcu.data_modules import DataInputModule, OutputCollectionModule
+from repro.mcu.microcontroller import Microcontroller, RequestOutcome
+from repro.mcu.minios import (
+    BeladyPolicy,
+    FifoPolicy,
+    FrameReplacementEntry,
+    FrameReplacementTable,
+    FreeFrameList,
+    LfuPolicy,
+    LruPolicy,
+    MiniOs,
+    RandomPolicy,
+    ReplacementPolicy,
+    build_policy,
+)
+
+__all__ = [
+    "CommandKind",
+    "Command",
+    "CommandError",
+    "ConfigurationModule",
+    "ReconfigurationReport",
+    "DataInputModule",
+    "OutputCollectionModule",
+    "Microcontroller",
+    "RequestOutcome",
+    "FreeFrameList",
+    "FrameReplacementEntry",
+    "FrameReplacementTable",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "LfuPolicy",
+    "RandomPolicy",
+    "BeladyPolicy",
+    "MiniOs",
+    "build_policy",
+]

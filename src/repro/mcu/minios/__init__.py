@@ -1,0 +1,45 @@
+"""The microcontroller's mini OS.
+
+Section 2.5 of the paper describes the three data structures implemented
+here:
+
+* the **Free Frame List** — frames "currently not used to realise any logic
+  and ... thus potentially programmable without any intervention to the
+  functions currently being executed";
+* the **Frame Replacement Table** — "the list of frames occupied by each
+  algorithm present on the FPGA along with a time stamp specifying the last
+  moment at which it was accessed";
+* the **Frame Replacement Policy** — the paper evicts the algorithm with the
+  oldest time stamp (least recently used); the policy is pluggable here so
+  experiment E3 can compare it with FIFO, LFU, Random and Belady's optimal.
+"""
+
+from repro.mcu.minios.free_frames import FreeFrameList
+from repro.mcu.minios.replacement import FrameReplacementEntry, FrameReplacementTable
+from repro.mcu.minios.policies import (
+    BeladyPolicy,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    build_policy,
+    available_policies,
+)
+from repro.mcu.minios.minios import EvictionDecision, MiniOs
+
+__all__ = [
+    "FreeFrameList",
+    "FrameReplacementEntry",
+    "FrameReplacementTable",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "LfuPolicy",
+    "RandomPolicy",
+    "BeladyPolicy",
+    "build_policy",
+    "available_policies",
+    "MiniOs",
+    "EvictionDecision",
+]

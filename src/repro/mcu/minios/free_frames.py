@@ -1,0 +1,89 @@
+"""The Free Frame List."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set
+
+from repro.fpga.frame import FrameRegion
+from repro.fpga.geometry import FabricGeometry, FrameAddress
+
+
+class FreeFrameList:
+    """Tracks which frames are free for programming without disturbing
+    currently loaded functions.
+
+    The list is kept sorted by flat frame index so allocation decisions (and
+    the contiguity checks the placer performs) are deterministic.
+    """
+
+    def __init__(self, geometry: FabricGeometry, initially_free: Optional[Iterable[FrameAddress]] = None) -> None:
+        self.geometry = geometry
+        if initially_free is None:
+            initially_free = geometry.all_frames()
+        self._free: Set[FrameAddress] = set()
+        for address in initially_free:
+            geometry.validate(address)
+            self._free.add(address)
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def __contains__(self, address: FrameAddress) -> bool:
+        return address in self._free
+
+    def __iter__(self) -> Iterator[FrameAddress]:
+        return iter(self.as_list())
+
+    def as_list(self) -> List[FrameAddress]:
+        """Free frames sorted by flat index."""
+        return sorted(self._free, key=lambda a: a.flat_index(self.geometry.tiles_per_column))
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def can_host(self, frames_needed: int) -> bool:
+        """True when enough free frames exist (contiguity not required)."""
+        return frames_needed <= len(self._free)
+
+    def largest_contiguous_run(self) -> int:
+        """Length of the longest run of consecutive free frames."""
+        indices = sorted(a.flat_index(self.geometry.tiles_per_column) for a in self._free)
+        longest = 0
+        current = 0
+        previous = None
+        for index in indices:
+            current = current + 1 if previous is not None and index == previous + 1 else 1
+            longest = max(longest, current)
+            previous = index
+        return longest
+
+    # ------------------------------------------------------------- mutation
+    def allocate(self, region: FrameRegion) -> None:
+        """Remove the frames of *region* from the free list.
+
+        Raises :class:`ValueError` if any of them is not currently free —
+        that would mean the mini OS double-booked a frame.
+        """
+        missing = [address for address in region if address not in self._free]
+        if missing:
+            raise ValueError(f"frames {missing} are not on the free frame list")
+        for address in region:
+            self._free.discard(address)
+
+    def release(self, region: FrameRegion) -> None:
+        """Return the frames of *region* to the free list."""
+        for address in region:
+            self.geometry.validate(address)
+            self._free.add(address)
+
+    def clear(self) -> None:
+        """Mark every frame free (device reset)."""
+        self._free = set(self.geometry.all_frames())
+
+    def describe(self) -> str:
+        return (
+            f"FreeFrameList({self.free_count}/{self.geometry.frame_count} free, "
+            f"largest run {self.largest_contiguous_run()})"
+        )

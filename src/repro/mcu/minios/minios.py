@@ -1,0 +1,158 @@
+"""The mini OS proper: ties the free frame list, the replacement table and the
+replacement policy together into load/evict decisions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.fpga.frame import FrameRegion
+from repro.fpga.geometry import FabricGeometry
+from repro.fpga.placer import Placer, PlacementStrategy
+from repro.mcu.minios.free_frames import FreeFrameList
+from repro.mcu.minios.policies import CapacityError, LruPolicy, ReplacementPolicy
+from repro.mcu.minios.replacement import FrameReplacementEntry, FrameReplacementTable
+
+
+@dataclass
+class EvictionDecision:
+    """The plan for bringing one function onto the fabric."""
+
+    function: str
+    frames_needed: int
+    hit: bool
+    evictions: List[str] = field(default_factory=list)
+    region: Optional[FrameRegion] = None
+
+
+@dataclass
+class MiniOsStatistics:
+    """Counters the mini OS keeps across a run."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    frames_evicted: int = 0
+    capacity_failures: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class MiniOs:
+    """Decision logic for on-demand loading.
+
+    The mini OS never touches the device directly — it only plans.  The
+    microcontroller executes the plan (evict, configure, bind) and then
+    commits the outcome back, which keeps the decision logic easy to test in
+    isolation.
+    """
+
+    def __init__(
+        self,
+        geometry: FabricGeometry,
+        policy: Optional[ReplacementPolicy] = None,
+        placement_strategy: PlacementStrategy = PlacementStrategy.CONTIGUOUS_FIRST_FIT,
+    ) -> None:
+        self.geometry = geometry
+        self.policy = policy if policy is not None else LruPolicy()
+        self.free_frames = FreeFrameList(geometry)
+        self.table = FrameReplacementTable()
+        self.placer = Placer(geometry, strategy=placement_strategy)
+        self.stats = MiniOsStatistics()
+
+    # --------------------------------------------------------------- queries
+    def is_resident(self, name: str) -> bool:
+        return name in self.table
+
+    def touch(self, name: str, now_ns: float) -> None:
+        """Record that *name* was just used (updates the replacement table)."""
+        self.table.touch(name, now_ns)
+
+    # -------------------------------------------------------------- planning
+    def plan_load(
+        self,
+        name: str,
+        frames_needed: int,
+        now_ns: float,
+        protect: Optional[Set[str]] = None,
+        future_requests: Optional[Sequence[str]] = None,
+    ) -> EvictionDecision:
+        """Plan how to make *name* resident.
+
+        Returns a hit decision when the function is already on the fabric.
+        Otherwise selects victims (if needed) with the replacement policy and
+        chooses the frames the function will occupy.  Raises
+        :class:`~repro.mcu.minios.policies.CapacityError` when the fabric can
+        never host the function.
+        """
+        self.stats.requests += 1
+        if frames_needed > self.geometry.frame_count:
+            self.stats.capacity_failures += 1
+            raise CapacityError(
+                f"{name!r} needs {frames_needed} frames but the device only has "
+                f"{self.geometry.frame_count}"
+            )
+        if self.is_resident(name):
+            self.stats.hits += 1
+            return EvictionDecision(function=name, frames_needed=frames_needed, hit=True)
+
+        self.stats.misses += 1
+        protect = set(protect or set())
+        protect.add(name)
+        try:
+            victims = self.policy.select_victims(
+                self.table,
+                frames_needed,
+                self.free_frames.free_count,
+                now_ns,
+                protect=protect,
+                future_requests=future_requests,
+            )
+        except CapacityError:
+            self.stats.capacity_failures += 1
+            raise
+        # Frames available once the victims are gone.
+        candidate_frames = list(self.free_frames.as_list())
+        for victim in victims:
+            candidate_frames.extend(victim.region)
+        region = FrameRegion.from_addresses(
+            self.placer.choose_frames(frames_needed, candidate_frames)
+        )
+        return EvictionDecision(
+            function=name,
+            frames_needed=frames_needed,
+            hit=False,
+            evictions=[victim.name for victim in victims],
+            region=region,
+        )
+
+    # ------------------------------------------------------------ committing
+    def commit_eviction(self, name: str) -> FrameRegion:
+        """Record that *name* was evicted; returns the frames that became free."""
+        entry = self.table.remove(name)
+        self.free_frames.release(entry.region)
+        self.stats.evictions += 1
+        self.stats.frames_evicted += entry.frame_count
+        return entry.region
+
+    def commit_load(self, name: str, region: FrameRegion, now_ns: float) -> None:
+        """Record that *name* is now resident in *region*."""
+        self.free_frames.allocate(region)
+        self.table.insert(name, region, now_ns)
+
+    def reset(self) -> None:
+        """Forget everything (device reset)."""
+        self.free_frames.clear()
+        self.table.clear()
+        self.stats = MiniOsStatistics()
+
+    # ------------------------------------------------------------ reporting
+    def describe(self, now_ns: Optional[float] = None) -> str:
+        return (
+            f"policy={self.policy.name}\n"
+            f"{self.free_frames.describe()}\n"
+            f"{self.table.describe(now_ns)}"
+        )

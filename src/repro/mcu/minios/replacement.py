@@ -1,0 +1,114 @@
+"""The Frame Replacement Table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.fpga.frame import FrameRegion
+
+
+@dataclass
+class FrameReplacementEntry:
+    """Book-keeping for one algorithm currently resident on the FPGA.
+
+    ``last_access_ns`` is the paper's "time stamp specifying the last moment
+    at which it was accessed"; ``loaded_at_ns`` and ``access_count`` exist so
+    FIFO and LFU policies can be evaluated against the paper's LRU choice.
+    """
+
+    name: str
+    region: FrameRegion
+    loaded_at_ns: float
+    last_access_ns: float
+    access_count: int = 0
+    load_count: int = 1
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.region)
+
+    def touch(self, now_ns: float) -> None:
+        """Record an access at *now_ns*."""
+        self.last_access_ns = now_ns
+        self.access_count += 1
+
+
+class FrameReplacementTable:
+    """Maps each resident algorithm to its frames and usage statistics."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, FrameReplacementEntry] = {}
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[FrameReplacementEntry]:
+        return iter(list(self._entries.values()))
+
+    def entry(self, name: str) -> FrameReplacementEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(f"{name!r} is not resident on the FPGA") from None
+
+    def names(self) -> List[str]:
+        return list(self._entries)
+
+    def resident_frame_count(self) -> int:
+        return sum(entry.frame_count for entry in self._entries.values())
+
+    # ------------------------------------------------------------- mutation
+    def insert(self, name: str, region: FrameRegion, now_ns: float) -> FrameReplacementEntry:
+        """Register a newly loaded algorithm."""
+        if name in self._entries:
+            raise ValueError(f"{name!r} is already in the replacement table")
+        entry = FrameReplacementEntry(
+            name=name,
+            region=region,
+            loaded_at_ns=now_ns,
+            last_access_ns=now_ns,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def remove(self, name: str) -> FrameReplacementEntry:
+        """Drop an evicted algorithm; returns its entry (for the freed frames)."""
+        try:
+            return self._entries.pop(name)
+        except KeyError:
+            raise KeyError(f"{name!r} is not resident on the FPGA") from None
+
+    def touch(self, name: str, now_ns: float) -> None:
+        """Update the access time stamp of *name*."""
+        self.entry(name).touch(now_ns)
+
+    def record_reload(self, name: str, now_ns: float) -> None:
+        """An already-resident function was reloaded (e.g. after relocation)."""
+        entry = self.entry(name)
+        entry.loaded_at_ns = now_ns
+        entry.load_count += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------ reporting
+    def oldest_by_last_access(self) -> Optional[FrameReplacementEntry]:
+        """The entry the paper's policy would evict first."""
+        if not self._entries:
+            return None
+        return min(self._entries.values(), key=lambda entry: (entry.last_access_ns, entry.name))
+
+    def describe(self, now_ns: Optional[float] = None) -> str:
+        lines = []
+        for entry in sorted(self._entries.values(), key=lambda e: e.last_access_ns):
+            age = f", idle {now_ns - entry.last_access_ns:.0f}ns" if now_ns is not None else ""
+            lines.append(
+                f"{entry.name:<12} frames={entry.frame_count:<3} "
+                f"accesses={entry.access_count:<5} last={entry.last_access_ns:.0f}ns{age}"
+            )
+        return "\n".join(lines) or "(empty)"

@@ -1,0 +1,23 @@
+"""Exceptions raised by the memory subsystem."""
+
+from __future__ import annotations
+
+
+class MemoryError_(Exception):
+    """Base class for memory subsystem errors.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`MemoryError`, which means something entirely different.
+    """
+
+
+class RomFullError(MemoryError_):
+    """The bit-stream area and the record table would collide in the ROM."""
+
+
+class RomLookupError(MemoryError_, KeyError):
+    """A requested function has no record in the ROM's record table."""
+
+
+class RamAllocationError(MemoryError_):
+    """The local RAM cannot satisfy an allocation request."""

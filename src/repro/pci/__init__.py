@@ -1,0 +1,30 @@
+"""Transaction-level PCI interconnect.
+
+The co-processor sits on a PCI card; the host drives it by writing command
+and data transactions across the bus.  The model is transaction-level: each
+read/write burst costs arbitration + address + data phases at the configured
+bus clock and width, which is enough fidelity for the end-to-end experiments
+(the host↔card transfer time is one of the terms the offload speedup in E5
+depends on).
+"""
+
+from repro.pci.config_space import PciConfigSpace, BaseAddressRegister
+from repro.pci.transaction import PciTransaction, TransactionKind
+from repro.pci.bus import PciBus, PciBusTiming
+from repro.pci.device import PciDevice, PciFunctionInterface
+from repro.pci.dma import DmaEngine, DmaDescriptor
+from repro.pci.bridge import HostBridge
+
+__all__ = [
+    "PciConfigSpace",
+    "BaseAddressRegister",
+    "PciTransaction",
+    "TransactionKind",
+    "PciBus",
+    "PciBusTiming",
+    "PciDevice",
+    "PciFunctionInterface",
+    "DmaEngine",
+    "DmaDescriptor",
+    "HostBridge",
+]

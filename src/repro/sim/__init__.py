@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel used by the co-processor model.
+
+The kernel is intentionally small: a time base (:class:`~repro.sim.clock.Clock`),
+a heap-backed event queue (:class:`~repro.sim.events.EventQueue`), a process
+oriented simulator (:class:`~repro.sim.kernel.Simulator`) with resources and
+stores, and a trace recorder (:class:`~repro.sim.trace.TraceRecorder`).  The
+co-processor's transaction-level components advance the shared clock directly;
+the simulator is used whenever several activities (host requests, DMA,
+reconfiguration) need to be interleaved.
+"""
+
+from repro.sim.clock import Clock, TimeUnit, format_time
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Process, Resource, Simulator, Store, Timeout
+from repro.sim.trace import TraceEvent, TraceRecorder
+from repro.sim.rand import SeededRandom
+
+__all__ = [
+    "Clock",
+    "TimeUnit",
+    "format_time",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+    "TraceRecorder",
+    "TraceEvent",
+    "SeededRandom",
+]

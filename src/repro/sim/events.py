@@ -1,0 +1,126 @@
+"""Event primitives for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled occurrence in simulated time.
+
+    Events carry an arbitrary ``payload`` and an optional ``callback`` run when
+    the event is dispatched.  Ordering is by time, then by priority (lower is
+    earlier), then by insertion order so scheduling is deterministic.
+    """
+
+    time_ns: float
+    name: str = "event"
+    payload: Any = None
+    priority: int = 0
+    callback: Optional[Callable[["Event"], None]] = None
+    cancelled: bool = field(default=False, init=False)
+    sequence: int = field(default=-1, init=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when it is popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback, if any."""
+        if self.callback is not None and not self.cancelled:
+            self.callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        flag = " cancelled" if self.cancelled else ""
+        return f"Event({self.name!r} @ {self.time_ns}ns prio={self.priority}{flag})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    The queue breaks ties by priority and insertion sequence so that two runs
+    with the same inputs produce the same schedule.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Schedule *event*; returns it for chaining."""
+        if event.time_ns < 0:
+            raise ValueError("cannot schedule an event at negative time")
+        seq = next(self._counter)
+        event.sequence = seq
+        heapq.heappush(self._heap, (event.time_ns, event.priority, seq, event))
+        self._live += 1
+        return event
+
+    def schedule(
+        self,
+        time_ns: float,
+        name: str = "event",
+        payload: Any = None,
+        priority: int = 0,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Create and push an event in one call."""
+        return self.push(
+            Event(time_ns=time_ns, name=name, payload=payload, priority=priority, callback=callback)
+        )
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`IndexError` when the queue is empty.
+        """
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            self._live -= 1
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from an empty EventQueue")
+
+    def peek(self) -> Event:
+        """Return the earliest non-cancelled event without removing it."""
+        while self._heap:
+            _, _, _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                self._live -= 1
+                continue
+            return event
+        raise IndexError("peek on an empty EventQueue")
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (lazily removed)."""
+        event.cancel()
+        self._live = max(0, self._live - 1)
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+    def drain(self) -> Iterator[Event]:
+        """Yield events in order until the queue is empty."""
+        while self:
+            yield self.pop()
+
+    @property
+    def next_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when empty."""
+        try:
+            return self.peek().time_ns
+        except IndexError:
+            return None

@@ -1,0 +1,308 @@
+"""Process-oriented discrete-event simulator.
+
+The simulator follows the familiar generator-coroutine style: a *process* is a
+Python generator that yields scheduling primitives (:class:`Timeout`,
+:class:`WaitEvent`, resource/store requests) and is resumed when the primitive
+completes.  The co-processor model uses the simulator to interleave host
+request arrival, PCI transfers, reconfiguration and function execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when a process misbehaves (e.g. yields an unknown primitive)."""
+
+
+@dataclass
+class Timeout:
+    """Yielded by a process to sleep for ``delay_ns`` nanoseconds."""
+
+    delay_ns: float
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.delay_ns < 0:
+            raise ValueError("timeout delay must be non-negative")
+
+
+class WaitEvent:
+    """A one-shot condition a process can wait on and another can trigger."""
+
+    def __init__(self, name: str = "wait-event") -> None:
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the event, waking every waiting process."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "triggered" if self.triggered else "pending"
+        return f"WaitEvent({self.name!r}, {state})"
+
+
+class Process:
+    """A running generator registered with the simulator."""
+
+    _ids = 0
+
+    def __init__(self, generator: Generator, name: Optional[str] = None) -> None:
+        Process._ids += 1
+        self.pid = Process._ids
+        self.name = name or f"process-{self.pid}"
+        self.generator = generator
+        self.finished = False
+        self.result: Any = None
+        self.waiters: List["Process"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Resource:
+    """A counted resource with FIFO queuing (e.g. the single PCI bus)."""
+
+    def __init__(self, simulator: "Simulator", capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError("resource capacity must be at least 1")
+        self.simulator = simulator
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: Deque[tuple] = deque()  # (process, requested_at_ns)
+        self.total_acquisitions = 0
+        self.total_wait_ns = 0.0
+
+    def request(self) -> "ResourceRequest":
+        """Return a yieldable request for one unit of the resource."""
+        return ResourceRequest(self)
+
+    def release(self) -> None:
+        """Release one unit, waking the next queued requester if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self.in_use -= 1
+        if self._queue:
+            process, requested_at = self._queue.popleft()
+            self.in_use += 1
+            self.total_wait_ns += self.simulator.clock.now - requested_at
+            self.simulator.queue.schedule(
+                self.simulator.clock.now,
+                name=f"granted:{self.name}",
+                callback=lambda _event, p=process: self.simulator._step(p, None),
+            )
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class ResourceRequest:
+    """Yieldable acquisition of a :class:`Resource`."""
+
+    resource: Resource
+    requested_at: float = field(default=0.0, init=False)
+
+
+class Store:
+    """An unbounded FIFO store of items with blocking ``get``."""
+
+    def __init__(self, simulator: "Simulator", name: str = "store") -> None:
+        self.simulator = simulator
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[WaitEvent] = deque()
+
+    def put(self, item: Any) -> None:
+        """Add an item, waking one blocked getter if present."""
+        if self._getters:
+            waiter = self._getters.popleft()
+            waiter.value = item
+            self.simulator.trigger(waiter)
+        else:
+            self._items.append(item)
+
+    def get(self) -> "StoreGet":
+        """Return a yieldable get request."""
+        return StoreGet(self)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class StoreGet:
+    """Yieldable retrieval from a :class:`Store`."""
+
+    store: Store
+
+
+class Simulator:
+    """Drives processes forward in simulated time.
+
+    The simulator owns (or shares) a :class:`~repro.sim.clock.Clock`; running
+    it advances that clock, so transaction-level components that use the same
+    clock observe a consistent timeline.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self.queue = EventQueue()
+        self.processes: List[Process] = []
+        self._event_waiters: Dict[int, List[Process]] = {}
+        self.events_dispatched = 0
+
+    # ------------------------------------------------------------- processes
+    def spawn(self, generator: Generator, name: Optional[str] = None, delay_ns: float = 0.0) -> Process:
+        """Register *generator* as a process starting after *delay_ns*."""
+        process = Process(generator, name=name)
+        self.processes.append(process)
+        self.queue.schedule(
+            self.clock.now + delay_ns,
+            name=f"start:{process.name}",
+            callback=lambda _event, p=process: self._step(p, None),
+        )
+        return process
+
+    def trigger(self, wait_event: WaitEvent, value: Any = None) -> None:
+        """Trigger *wait_event* now, scheduling its waiters to resume."""
+        if not wait_event.triggered:
+            wait_event.succeed(value if value is not None else wait_event.value)
+        for process in wait_event._waiters:
+            self.queue.schedule(
+                self.clock.now,
+                name=f"resume:{process.name}",
+                callback=lambda _event, p=process, w=wait_event: self._step(p, w.value),
+            )
+        wait_event._waiters.clear()
+
+    # ------------------------------------------------------------------- run
+    def run(self, until_ns: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Dispatch events until the queue empties or *until_ns* is reached.
+
+        Returns the simulation time when the run stopped.
+        """
+        dispatched = 0
+        while self.queue:
+            next_time = self.queue.next_time
+            if next_time is None:
+                break
+            if until_ns is not None and next_time > until_ns:
+                self.clock.advance_to(until_ns)
+                return self.clock.now
+            event = self.queue.pop()
+            self.clock.advance_to(event.time_ns)
+            event.fire()
+            self.events_dispatched += 1
+            dispatched += 1
+            if dispatched > max_events:
+                raise SimulationError(
+                    f"dispatched more than {max_events} events; possible livelock"
+                )
+        if until_ns is not None and until_ns > self.clock.now:
+            self.clock.advance_to(until_ns)
+        return self.clock.now
+
+    # ------------------------------------------------------------- stepping
+    def _step(self, process: Process, send_value: Any) -> None:
+        """Resume *process* with *send_value* and handle what it yields."""
+        if process.finished:
+            return
+        try:
+            yielded = process.generator.send(send_value)
+        except StopIteration as stop:
+            process.finished = True
+            process.result = stop.value
+            for waiter in process.waiters:
+                self.queue.schedule(
+                    self.clock.now,
+                    name=f"join:{process.name}",
+                    callback=lambda _event, p=waiter, r=stop.value: self._step(p, r),
+                )
+            process.waiters.clear()
+            return
+        self._handle_yield(process, yielded)
+
+    def _handle_yield(self, process: Process, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self.queue.schedule(
+                self.clock.now + yielded.delay_ns,
+                name=f"timeout:{process.name}",
+                callback=lambda _event, p=process, v=yielded.value: self._step(p, v),
+            )
+        elif isinstance(yielded, WaitEvent):
+            if yielded.triggered:
+                self.queue.schedule(
+                    self.clock.now,
+                    name=f"ready:{process.name}",
+                    callback=lambda _event, p=process, v=yielded.value: self._step(p, v),
+                )
+            else:
+                yielded._waiters.append(process)
+        elif isinstance(yielded, ResourceRequest):
+            self._handle_resource_request(process, yielded)
+        elif isinstance(yielded, StoreGet):
+            self._handle_store_get(process, yielded)
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                self.queue.schedule(
+                    self.clock.now,
+                    name=f"joined:{process.name}",
+                    callback=lambda _event, p=process, r=yielded.result: self._step(p, r),
+                )
+            else:
+                yielded.waiters.append(process)
+        else:
+            raise SimulationError(
+                f"process {process.name!r} yielded unsupported object {yielded!r}"
+            )
+
+    def _handle_resource_request(self, process: Process, request: ResourceRequest) -> None:
+        resource = request.resource
+        request.requested_at = self.clock.now
+        resource.total_acquisitions += 1
+        if resource.in_use < resource.capacity:
+            resource.in_use += 1
+            self.queue.schedule(
+                self.clock.now,
+                name=f"acquire:{resource.name}",
+                callback=lambda _event, p=process: self._step(p, None),
+            )
+        else:
+            resource._queue.append((process, self.clock.now))
+
+    def _handle_store_get(self, process: Process, get: StoreGet) -> None:
+        store = get.store
+        if store._items:
+            item = store._items.popleft()
+            self.queue.schedule(
+                self.clock.now,
+                name=f"get:{store.name}",
+                callback=lambda _event, p=process, v=item: self._step(p, v),
+            )
+        else:
+            waiter = WaitEvent(name=f"get:{store.name}")
+            waiter._waiters.append(process)
+            store._getters.append(waiter)
+
+    # --------------------------------------------------------------- helpers
+    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
+        return Resource(self, capacity=capacity, name=name)
+
+    def store(self, name: str = "store") -> Store:
+        return Store(self, name=name)

@@ -1,0 +1,95 @@
+"""Seeded randomness helpers.
+
+Every stochastic element of the model (workload generators, random replacement
+policy, synthetic bit-stream content) draws from a :class:`SeededRandom` so
+experiments are reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRandom:
+    """A thin, explicit wrapper around :class:`random.Random`.
+
+    Using a dedicated class (rather than the module-level functions) keeps all
+    stochastic behaviour attributable to a single seed and lets components
+    fork independent, deterministic sub-streams.
+    """
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, label: str) -> "SeededRandom":
+        """Create an independent stream derived from this one and *label*."""
+        derived = hash((self.seed, label)) & 0x7FFFFFFF
+        return SeededRandom(derived)
+
+    # ----------------------------------------------------------- primitives
+    def integer(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return self._rng.uniform(low, high)
+
+    def exponential(self, mean: float) -> float:
+        """Exponentially distributed value with the given mean."""
+        if mean <= 0:
+            raise ValueError("mean of an exponential must be positive")
+        return self._rng.expovariate(1.0 / mean)
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._rng.choice(list(items))
+
+    def shuffle(self, items: Sequence[T]) -> List[T]:
+        """Return a shuffled copy (the input is not modified)."""
+        copy = list(items)
+        self._rng.shuffle(copy)
+        return copy
+
+    def sample(self, items: Sequence[T], count: int) -> List[T]:
+        return self._rng.sample(list(items), count)
+
+    def bytes(self, count: int) -> bytes:
+        """Deterministic pseudo-random byte string of length *count*."""
+        if count < 0:
+            raise ValueError("byte count must be non-negative")
+        return bytes(self._rng.getrandbits(8) for _ in range(count))
+
+    def zipf_index(self, n: int, skew: float = 1.0) -> int:
+        """Draw an index in [0, n) following a Zipf distribution with *skew*.
+
+        Used by the workload generators: a small set of "hot" algorithms
+        receive most requests, which is the regime where the paper's
+        frame-replacement policy matters.
+        """
+        if n <= 0:
+            raise ValueError("population size must be positive")
+        if skew < 0:
+            raise ValueError("zipf skew must be non-negative")
+        weights = [1.0 / ((rank + 1) ** skew) for rank in range(n)]
+        total = sum(weights)
+        point = self._rng.uniform(0.0, total)
+        cumulative = 0.0
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if point <= cumulative:
+                return index
+        return n - 1
+
+    def geometric(self, p: float) -> int:
+        """Number of Bernoulli(p) trials until the first success (>= 1)."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError("geometric probability must be in (0, 1]")
+        count = 1
+        while self._rng.random() > p:
+            count += 1
+        return count

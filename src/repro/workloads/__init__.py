@@ -1,0 +1,41 @@
+"""Workload generation: request traces and host application models.
+
+A *trace* is an ordered list of requests (function name + input payload +
+arrival offset).  Generators cover the regimes the on-demand architecture is
+sensitive to: uniform and Zipf-skewed function popularity, phased workloads
+(the working set changes over time), bursty arrivals and strict round-robin
+algorithm switching.  Application models wrap the generators into the
+scenarios the examples use (an IPSec-like gateway, a hashing server, a DSP
+pipeline).
+"""
+
+from repro.workloads.trace import Request, Trace
+from repro.workloads.generators import (
+    TraceGenerator,
+    uniform_trace,
+    zipf_trace,
+    phased_trace,
+    round_robin_trace,
+    bursty_trace,
+    repeated_trace,
+)
+from repro.workloads.apps import (
+    ipsec_gateway_trace,
+    hash_server_trace,
+    dsp_pipeline_trace,
+)
+
+__all__ = [
+    "Request",
+    "Trace",
+    "TraceGenerator",
+    "uniform_trace",
+    "zipf_trace",
+    "phased_trace",
+    "round_robin_trace",
+    "bursty_trace",
+    "repeated_trace",
+    "ipsec_gateway_trace",
+    "hash_server_trace",
+    "dsp_pipeline_trace",
+]

@@ -1,0 +1,110 @@
+"""Host application models.
+
+Three concrete scenarios built on the generic generators, matching the
+application space that motivated algorithm-agile co-processors:
+
+* an **IPSec-like gateway** interleaving bulk encryption, hashing and
+  public-key operations as security associations come and go;
+* a **hashing server** that mostly runs one digest but periodically verifies
+  with a second algorithm;
+* a **DSP pipeline** alternating filtering, FFTs and matrix operations as a
+  radio switches waveforms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.functions.bank import FunctionBank
+from repro.sim.rand import SeededRandom
+from repro.workloads.trace import Request, Trace
+from repro.workloads.generators import TraceGenerator
+
+
+def ipsec_gateway_trace(
+    bank: FunctionBank,
+    packets: int = 500,
+    rekey_interval: int = 50,
+    seed: int = 0,
+    payload_blocks: int = 4,
+) -> Trace:
+    """Packet flow of an IPSec-like gateway.
+
+    Each packet needs a cipher (AES or DES depending on the peer) and a hash
+    (SHA-1 or SHA-256); every ``rekey_interval`` packets a key exchange adds a
+    modular exponentiation.  The cipher/hash mix changes slowly, modelling a
+    population of peers negotiating different transforms.
+    """
+    if packets <= 0 or rekey_interval <= 0:
+        raise ValueError("packets and rekey_interval must be positive")
+    generator = TraceGenerator(bank, seed=seed, payload_blocks=payload_blocks)
+    rng = SeededRandom(seed).fork("ipsec")
+    sequence: List[str] = []
+    ciphers = [name for name in ("aes128", "des") if name in bank]
+    hashes = [name for name in ("sha256", "sha1") if name in bank]
+    if not ciphers or not hashes:
+        raise ValueError("the bank needs at least one cipher and one hash for the IPSec model")
+    for packet_index in range(packets):
+        # 80% of peers use the first (modern) transform set, 20% the legacy one.
+        cipher = ciphers[0] if rng.uniform() < 0.8 or len(ciphers) == 1 else ciphers[1]
+        digest = hashes[0] if rng.uniform() < 0.8 or len(hashes) == 1 else hashes[1]
+        sequence.append(cipher)
+        sequence.append(digest)
+        if packet_index % rekey_interval == rekey_interval - 1 and "modexp512" in bank:
+            sequence.append("modexp512")
+    return generator.build(sequence, name=f"ipsec-{packets}p")
+
+
+def hash_server_trace(
+    bank: FunctionBank,
+    requests: int = 400,
+    verify_every: int = 16,
+    seed: int = 0,
+    payload_blocks: int = 8,
+) -> Trace:
+    """A digest server: mostly SHA-256 with periodic SHA-1 verification and a
+    CRC integrity pass over every response."""
+    if requests <= 0 or verify_every <= 0:
+        raise ValueError("requests and verify_every must be positive")
+    generator = TraceGenerator(bank, seed=seed, payload_blocks=payload_blocks)
+    primary = "sha256" if "sha256" in bank else bank.names()[0]
+    secondary = "sha1" if "sha1" in bank else primary
+    crc = "crc32" if "crc32" in bank else primary
+    sequence: List[str] = []
+    for index in range(requests):
+        sequence.append(primary)
+        sequence.append(crc)
+        if index % verify_every == verify_every - 1:
+            sequence.append(secondary)
+    return generator.build(sequence, name=f"hashserver-{requests}")
+
+
+def dsp_pipeline_trace(
+    bank: FunctionBank,
+    frames: int = 300,
+    waveform_switch_every: int = 40,
+    seed: int = 0,
+    payload_blocks: int = 1,
+) -> Trace:
+    """A software-radio style pipeline.
+
+    Each input frame is filtered and transformed; every
+    ``waveform_switch_every`` frames the waveform changes and a matrix-based
+    channel estimation step runs, pulling a different function mix onto the
+    fabric.
+    """
+    if frames <= 0 or waveform_switch_every <= 0:
+        raise ValueError("frames and waveform_switch_every must be positive")
+    generator = TraceGenerator(bank, seed=seed, payload_blocks=payload_blocks)
+    fir = "fir16" if "fir16" in bank else bank.names()[0]
+    fft = "fft256" if "fft256" in bank else fir
+    matmul = "matmul8" if "matmul8" in bank else fir
+    sorter = "bitonic64" if "bitonic64" in bank else fir
+    sequence: List[str] = []
+    for frame_index in range(frames):
+        sequence.append(fir)
+        sequence.append(fft)
+        if frame_index % waveform_switch_every == waveform_switch_every - 1:
+            sequence.append(matmul)
+            sequence.append(sorter)
+    return generator.build(sequence, name=f"dsp-{frames}f")

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Most tests use deliberately small fabrics, banks and memories so the suite
+stays fast; a handful of integration tests build the full default system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_coprocessor
+from repro.core.config import CoprocessorConfig, SMALL_CONFIG
+from repro.fpga.geometry import FabricGeometry
+from repro.functions.bank import FunctionBank, build_default_bank, build_small_bank
+from repro.sim.clock import Clock
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock()
+
+
+@pytest.fixture
+def tiny_geometry() -> FabricGeometry:
+    """4x16 CLBs, 16 frames of 4 CLBs — big enough for the netlist functions."""
+    return FabricGeometry(columns=4, rows=16, clb_rows_per_frame=4)
+
+
+@pytest.fixture
+def small_geometry() -> FabricGeometry:
+    """8x32 CLBs, 64 frames — matches SMALL_CONFIG."""
+    return FabricGeometry(columns=8, rows=32, clb_rows_per_frame=4)
+
+
+@pytest.fixture
+def small_config() -> CoprocessorConfig:
+    return SMALL_CONFIG.with_overrides(seed=7)
+
+
+@pytest.fixture
+def small_bank() -> FunctionBank:
+    return build_small_bank()
+
+
+@pytest.fixture(scope="session")
+def default_bank() -> FunctionBank:
+    """The full 14-function bank (session-scoped: building AES etc. is not free)."""
+    return build_default_bank()
+
+
+@pytest.fixture
+def small_coprocessor(small_config, small_bank):
+    """A small, fully downloaded co-processor (fast to build)."""
+    return build_coprocessor(config=small_config, bank=small_bank)

@@ -1,0 +1,148 @@
+"""Tests for the baselines and the trace runner."""
+
+import pytest
+
+from repro.baselines import FullReconfigEngine, HostOnlyEngine, StaticFixedEngine
+from repro.core.builder import build_coprocessor
+from repro.core.config import SMALL_CONFIG
+from repro.core.ondemand import TraceRunner, compare_engines
+from repro.functions.bank import build_small_bank
+from repro.workloads import repeated_trace, round_robin_trace, uniform_trace
+
+
+@pytest.fixture
+def bank():
+    return build_small_bank()
+
+
+@pytest.fixture
+def config():
+    return SMALL_CONFIG.with_overrides(seed=11)
+
+
+class TestHostOnlyEngine:
+    def test_outputs_match_reference(self, bank):
+        engine = HostOnlyEngine(bank)
+        data = bytes(range(32))
+        result = engine.execute("crc32", data)
+        assert result.output == bank.by_name("crc32").behaviour(data)
+        assert result.hit and not result.offloaded
+        assert result.latency_ns > 0
+
+    def test_latency_scales_with_input_and_slowdown(self, bank):
+        engine = HostOnlyEngine(bank, software_slowdown=20.0)
+        small = engine.software_time_ns("crc32", 16)
+        large = engine.software_time_ns("crc32", 1024)
+        assert large > small
+        slower = HostOnlyEngine(bank, software_slowdown=40.0)
+        assert slower.software_time_ns("crc32", 1024) > large
+
+    def test_invalid_parameters(self, bank):
+        with pytest.raises(ValueError):
+            HostOnlyEngine(bank, host_clock_hz=0)
+        with pytest.raises(ValueError):
+            HostOnlyEngine(bank, software_slowdown=0)
+
+
+class TestFullReconfigEngine:
+    def test_switching_pays_full_device_cost(self, bank, config):
+        full = FullReconfigEngine(config, bank)
+        first = full.execute("crc32", b"abc")
+        assert not first.hit
+        assert first.breakdown["full_device_penalty"] > 0
+        repeat = full.execute("crc32", b"abc")
+        assert repeat.hit
+        assert repeat.breakdown["full_device_penalty"] == 0
+        switch = full.execute("parity32", bytes(4))
+        assert not switch.hit
+        assert full.full_reconfigurations == 2
+
+    def test_only_one_function_resident(self, bank, config):
+        full = FullReconfigEngine(config, bank)
+        full.execute("crc32", b"abc")
+        full.execute("parity32", bytes(4))
+        assert full.coprocessor.loaded_functions() == ["parity32"]
+
+    def test_outputs_still_correct(self, bank, config):
+        full = FullReconfigEngine(config, bank)
+        data = bytes(range(16))
+        assert full.execute("crc32", data).output == bank.by_name("crc32").behaviour(data)
+
+
+class TestStaticFixedEngine:
+    def test_resident_functions_offloaded_others_fall_back(self, bank, config):
+        static = StaticFixedEngine(config, bank, resident_functions=["crc32", "adder8"])
+        offloaded = static.execute("crc32", b"xyz")
+        fallback = static.execute("parity32", bytes(4))
+        assert offloaded.offloaded and offloaded.hit
+        assert not fallback.offloaded
+        assert static.offloaded_calls == 1 and static.fallback_calls == 1
+        assert fallback.output == bank.by_name("parity32").behaviour(bytes(4))
+
+    def test_greedy_fill_when_no_set_given(self, bank, config):
+        static = StaticFixedEngine(config, bank)
+        assert len(static.resident) >= 1
+
+    def test_oversized_static_set_rejected(self, bank):
+        tiny = SMALL_CONFIG.with_overrides(fabric_columns=2, fabric_rows=8, clb_rows_per_frame=4)
+        with pytest.raises(ValueError):
+            StaticFixedEngine(tiny, bank, resident_functions=["crc32"])
+
+
+class TestTraceRunner:
+    def test_runs_trace_and_aggregates(self, bank, config):
+        copro = build_coprocessor(config=config, bank=bank)
+        trace = uniform_trace(bank, 40, seed=2)
+        result = TraceRunner(copro, "agile").run(trace)
+        assert result.requests == 40
+        assert 0.0 <= result.hit_rate <= 1.0
+        assert result.mean_latency_ns > 0
+        assert result.total_time_ns >= result.total_latency_ns * 0.99
+        assert result.throughput_requests_per_s > 0
+        summary = result.summary()
+        assert summary["requests"] == 40
+
+    def test_limit_parameter(self, bank, config):
+        copro = build_coprocessor(config=config, bank=bank)
+        trace = uniform_trace(bank, 40, seed=2)
+        result = TraceRunner(copro).run(trace, limit=10)
+        assert result.requests == 10
+
+    def test_repeated_trace_has_high_hit_rate(self, bank, config):
+        copro = build_coprocessor(config=config, bank=bank)
+        result = TraceRunner(copro).run(repeated_trace(bank, "crc32", 20))
+        assert result.hits == 19 and result.misses == 1
+
+    def test_provide_future_enables_belady(self, bank):
+        config = SMALL_CONFIG.with_overrides(
+            fabric_columns=2, fabric_rows=16, clb_rows_per_frame=4, replacement_policy="belady"
+        )
+        copro = build_coprocessor(config=config, bank=bank)
+        trace = round_robin_trace(bank, 30, seed=1)
+        result = TraceRunner(copro).run(trace, provide_future=True)
+        assert result.requests == 30
+
+    def test_per_function_latency_and_percentiles(self, bank, config):
+        copro = build_coprocessor(config=config, bank=bank)
+        trace = uniform_trace(bank, 30, seed=4)
+        result = TraceRunner(copro).run(trace)
+        busiest = max(trace.function_counts(), key=trace.function_counts().get)
+        assert result.mean_latency_for(busiest) > 0
+        assert result.latency_percentile(50) <= result.latency_percentile(99)
+
+    def test_compare_engines_runs_all(self, bank, config):
+        trace = uniform_trace(bank, 15, seed=5)
+        engines = {
+            "host": HostOnlyEngine(bank),
+            "agile": build_coprocessor(config=config, bank=bank),
+        }
+        results = compare_engines(trace, engines)
+        assert set(results) == {"host", "agile"}
+        for result in results.values():
+            assert result.requests == 15
+
+    def test_arrival_offsets_advance_the_engine_clock(self, bank, config):
+        copro = build_coprocessor(config=config, bank=bank)
+        trace = uniform_trace(bank, 10, seed=6, mean_interarrival_ns=10_000.0)
+        result = TraceRunner(copro).run(trace)
+        assert result.total_time_ns > result.total_latency_ns

@@ -1,0 +1,156 @@
+"""Tests for the compression codecs (including property-based round trips)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitstream.codecs import (
+    CodecError,
+    FrameDifferentialCodec,
+    GolombRiceCodec,
+    HuffmanCodec,
+    LZ77Codec,
+    NullCodec,
+    RunLengthCodec,
+    SymmetryAwareCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+
+ALL_CODECS = [
+    NullCodec(),
+    RunLengthCodec(),
+    LZ77Codec(),
+    HuffmanCodec(),
+    GolombRiceCodec(),
+    FrameDifferentialCodec(frame_size=64),
+    SymmetryAwareCodec(clb_stride=33),
+]
+
+SAMPLES = [
+    b"",
+    b"\x00",
+    b"a",
+    b"\x00" * 500,
+    b"abc" * 100,
+    bytes(range(256)),
+    bytes([0, 0, 0, 7, 0, 0, 0, 7] * 64),
+    b"\x00" * 100 + bytes(range(64)) + b"\x00" * 100,
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda codec: codec.name)
+    @pytest.mark.parametrize("sample", SAMPLES, ids=range(len(SAMPLES)))
+    def test_round_trip_fixed_samples(self, codec, sample):
+        assert codec.decompress(codec.compress(sample)) == sample
+
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda codec: codec.name)
+    @given(data=st.binary(max_size=600))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, codec, data):
+        assert codec.decompress(codec.compress(data)) == data
+
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda codec: codec.name)
+    def test_windowed_round_trip_with_context(self, codec):
+        previous = bytes([0x11] * 128)
+        window = bytes([0x11] * 100 + [0x22] * 28)
+        blob = codec.compress_window(window, previous)
+        assert codec.decompress_window(blob, previous) == window
+
+
+class TestCompressionQuality:
+    def test_sparse_frames_shrink(self):
+        sparse = b"\x00" * 900 + bytes(range(50)) + b"\x00" * 100
+        for codec in (RunLengthCodec(), GolombRiceCodec(), LZ77Codec(), HuffmanCodec()):
+            assert len(codec.compress(sparse)) < len(sparse), codec.name
+
+    def test_repetitive_structure_compresses_with_lz(self):
+        pattern = bytes([1, 2, 3, 4, 5, 6, 7, 8]) * 100
+        assert len(LZ77Codec().compress(pattern)) < len(pattern) // 4
+
+    def test_symmetry_codec_beats_plain_rle_on_strided_data(self):
+        # Byte i of every "CLB" is identical -> transposition creates long runs.
+        stride = 33
+        clb = bytes(range(stride))
+        data = clb * 40
+        symmetric = SymmetryAwareCodec(clb_stride=stride)
+        plain = RunLengthCodec()
+        assert len(symmetric.compress(data)) < len(plain.compress(data))
+
+    def test_framediff_collapses_near_identical_frames(self):
+        frame = bytes([7, 1, 0, 9] * 16)
+        data = frame * 20
+        codec = FrameDifferentialCodec(frame_size=len(frame))
+        assert len(codec.compress(data)) < len(RunLengthCodec().compress(data))
+
+    def test_ratio_helper(self):
+        codec = RunLengthCodec()
+        assert codec.ratio(b"\x00" * 1000) > 10.0
+        assert codec.ratio(b"") == 1.0
+
+
+class TestErrorHandling:
+    def test_rle_rejects_garbage(self):
+        with pytest.raises(CodecError):
+            RunLengthCodec().decompress(b"\xff\x00\x01")
+
+    def test_lz77_rejects_bad_backreference(self):
+        import struct
+
+        blob = bytes([0x01]) + struct.pack(">HH", 100, 4)
+        with pytest.raises(CodecError):
+            LZ77Codec().decompress(blob)
+
+    def test_huffman_rejects_truncation(self):
+        blob = HuffmanCodec().compress(b"hello world, hello world")
+        with pytest.raises(CodecError):
+            HuffmanCodec().decompress(blob[: len(blob) // 2])
+
+    def test_golomb_rejects_truncation(self):
+        blob = GolombRiceCodec().compress(b"\x00" * 50 + b"abc")
+        with pytest.raises(CodecError):
+            GolombRiceCodec().decompress(blob[:6])
+
+    def test_symmetry_rejects_short_header(self):
+        with pytest.raises(CodecError):
+            SymmetryAwareCodec().decompress(b"\x00")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LZ77Codec(window=0)
+        with pytest.raises(ValueError):
+            GolombRiceCodec(k=99)
+        with pytest.raises(ValueError):
+            FrameDifferentialCodec(frame_size=0)
+        with pytest.raises(ValueError):
+            SymmetryAwareCodec(clb_stride=0)
+
+
+class TestRegistry:
+    def test_all_expected_codecs_registered(self):
+        names = available_codecs()
+        for expected in ("null", "rle", "lz77", "huffman", "golomb", "framediff", "symmetry"):
+            assert expected in names
+
+    def test_get_codec_instantiates(self):
+        assert get_codec("rle").name == "rle"
+
+    def test_unknown_codec_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="rle"):
+            get_codec("zstd")
+
+    def test_register_custom_codec(self):
+        class ReverseCodec(NullCodec):
+            name = "reverse-test"
+
+            def compress(self, data):
+                return bytes(reversed(data))
+
+            def decompress(self, blob):
+                return bytes(reversed(blob))
+
+        register_codec("reverse-test", ReverseCodec)
+        codec = get_codec("reverse-test")
+        assert codec.decompress(codec.compress(b"abc")) == b"abc"

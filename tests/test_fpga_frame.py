@@ -1,0 +1,119 @@
+"""Tests for frames, frame regions and the frame array."""
+
+import pytest
+
+from repro.fpga.frame import Frame, FrameArray, FrameRegion
+from repro.fpga.geometry import FrameAddress
+from repro.fpga.lut import LookUpTable
+
+
+class TestFrame:
+    def test_serialisation_round_trip(self, tiny_geometry):
+        frame = Frame(tiny_geometry, FrameAddress(0, 0))
+        frame.clbs[0].luts[0] = LookUpTable.logic_xor(4)
+        frame.clbs[2].switch_box.state[1] = 0x55
+        data = frame.to_config_bytes()
+        assert len(data) == tiny_geometry.frame_config_bytes
+
+        other = Frame(tiny_geometry, FrameAddress(1, 1))
+        other.load_config_bytes(data)
+        assert other.clbs[0].luts[0] == LookUpTable.logic_xor(4)
+        assert other.clbs[2].switch_box.state[1] == 0x55
+
+    def test_wrong_payload_length_rejected(self, tiny_geometry):
+        frame = Frame(tiny_geometry, FrameAddress(0, 0))
+        with pytest.raises(ValueError):
+            frame.load_config_bytes(b"\x00")
+
+    def test_clear_and_is_clear(self, tiny_geometry):
+        frame = Frame(tiny_geometry, FrameAddress(0, 0))
+        assert frame.is_clear
+        frame.clbs[1].luts[3] = LookUpTable.constant(4, True)
+        assert not frame.is_clear
+        frame.clear()
+        assert frame.is_clear
+
+    def test_lut_utilisation(self, tiny_geometry):
+        frame = Frame(tiny_geometry, FrameAddress(0, 0))
+        assert frame.lut_utilisation() == 0.0
+        frame.clbs[0].luts[0] = LookUpTable.constant(4, True)
+        assert frame.lut_utilisation() == pytest.approx(1 / tiny_geometry.luts_per_frame)
+
+    def test_invalid_address_rejected(self, tiny_geometry):
+        with pytest.raises(IndexError):
+            Frame(tiny_geometry, FrameAddress(99, 0))
+
+    def test_flat_index(self, tiny_geometry):
+        frame = Frame(tiny_geometry, FrameAddress(1, 2))
+        assert frame.flat_index == 1 * tiny_geometry.tiles_per_column + 2
+
+
+class TestFrameRegion:
+    def test_duplicate_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            FrameRegion((FrameAddress(0, 0), FrameAddress(0, 0)))
+
+    def test_contiguity(self, tiny_geometry):
+        contiguous = FrameRegion.from_addresses(
+            [tiny_geometry.frame_at(index) for index in (2, 3, 4)]
+        )
+        scattered = FrameRegion.from_addresses(
+            [tiny_geometry.frame_at(index) for index in (0, 5, 9)]
+        )
+        assert contiguous.is_contiguous(tiny_geometry)
+        assert not scattered.is_contiguous(tiny_geometry)
+
+    def test_empty_region_is_contiguous(self, tiny_geometry):
+        assert FrameRegion(()).is_contiguous(tiny_geometry)
+
+    def test_overlap_and_intersection(self, tiny_geometry):
+        region_a = FrameRegion.from_addresses([tiny_geometry.frame_at(index) for index in (0, 1, 2)])
+        region_b = FrameRegion.from_addresses([tiny_geometry.frame_at(index) for index in (2, 3)])
+        region_c = FrameRegion.from_addresses([tiny_geometry.frame_at(index) for index in (7, 8)])
+        assert region_a.overlaps(region_b)
+        assert not region_a.overlaps(region_c)
+        assert region_a.intersection(region_b) == (tiny_geometry.frame_at(2),)
+
+    def test_union_preserves_order_and_uniqueness(self, tiny_geometry):
+        region_a = FrameRegion.from_addresses([tiny_geometry.frame_at(0), tiny_geometry.frame_at(1)])
+        region_b = FrameRegion.from_addresses([tiny_geometry.frame_at(1), tiny_geometry.frame_at(2)])
+        union = region_a.union(region_b)
+        assert len(union) == 3
+        assert list(union)[0] == tiny_geometry.frame_at(0)
+
+    def test_contains_and_iteration(self, tiny_geometry):
+        region = FrameRegion.from_addresses([tiny_geometry.frame_at(4)])
+        assert tiny_geometry.frame_at(4) in region
+        assert tiny_geometry.frame_at(5) not in region
+        assert list(region.flat_indices(tiny_geometry)) == [4]
+
+    def test_describe(self, tiny_geometry):
+        region = FrameRegion.from_addresses([tiny_geometry.frame_at(0)])
+        assert "F[0,0]" in region.describe()
+
+
+class TestFrameArray:
+    def test_contains_every_frame(self, tiny_geometry):
+        array = FrameArray(tiny_geometry)
+        assert len(array) == tiny_geometry.frame_count
+        assert array.by_flat_index(3).address == tiny_geometry.frame_at(3)
+
+    def test_unknown_address_rejected(self, tiny_geometry):
+        array = FrameArray(tiny_geometry)
+        with pytest.raises(IndexError):
+            array[FrameAddress(50, 50)]
+
+    def test_region_and_clear_region(self, tiny_geometry):
+        array = FrameArray(tiny_geometry)
+        region = FrameRegion.from_addresses([tiny_geometry.frame_at(0), tiny_geometry.frame_at(1)])
+        frames = array.region(region)
+        frames[0].clbs[0].luts[0] = LookUpTable.constant(4, True)
+        assert not frames[0].is_clear
+        array.clear_region(region)
+        assert frames[0].is_clear
+
+    def test_snapshot_covers_device(self, tiny_geometry):
+        array = FrameArray(tiny_geometry)
+        snapshot = array.snapshot()
+        assert len(snapshot) == tiny_geometry.frame_count
+        assert all(len(data) == tiny_geometry.frame_config_bytes for data in snapshot.values())

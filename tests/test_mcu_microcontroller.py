@@ -1,0 +1,117 @@
+"""Tests for the microcontroller's end-to-end request handling."""
+
+import pytest
+
+from repro.core.builder import build_coprocessor
+from repro.core.config import SMALL_CONFIG
+from repro.functions.bank import build_small_bank
+
+
+@pytest.fixture
+def system(small_coprocessor):
+    """Expose the microcontroller of a small, downloaded co-processor."""
+    return small_coprocessor.mcu, small_coprocessor
+
+
+class TestEnsureLoaded:
+    def test_first_load_is_a_miss_with_reconfiguration(self, system):
+        mcu, copro = system
+        outcome = mcu.ensure_loaded("crc32")
+        assert not outcome.hit
+        assert outcome.reconfiguration is not None
+        assert outcome.reconfig_time_ns > 0
+        assert copro.device.is_loaded("crc32")
+
+    def test_second_load_is_a_hit(self, system):
+        mcu, _ = system
+        mcu.ensure_loaded("crc32")
+        outcome = mcu.ensure_loaded("crc32")
+        assert outcome.hit
+        assert outcome.reconfiguration is None
+        assert outcome.reconfig_time_ns == 0.0
+
+    def test_minios_and_device_agree_on_residency(self, system):
+        mcu, copro = system
+        mcu.ensure_loaded("parity32")
+        assert copro.minios.is_resident("parity32")
+        assert copro.device.is_loaded("parity32")
+        region = copro.device.region_of("parity32")
+        assert set(copro.minios.table.entry("parity32").region) == set(region)
+
+    def test_evict_command(self, system):
+        mcu, copro = system
+        mcu.ensure_loaded("crc32")
+        mcu.evict("crc32")
+        assert not copro.device.is_loaded("crc32")
+        assert not copro.minios.is_resident("crc32")
+        # Evicting something not resident is a harmless no-op.
+        mcu.evict("crc32")
+
+    def test_reset_clears_everything(self, system):
+        mcu, copro = system
+        mcu.ensure_loaded("crc32")
+        mcu.ensure_loaded("parity32")
+        mcu.reset()
+        assert copro.loaded_functions() == []
+        assert copro.minios.free_frames.free_count == copro.geometry.frame_count
+
+
+class TestHandleExecute:
+    def test_output_matches_reference_behaviour(self, system):
+        mcu, copro = system
+        data = bytes(range(48))
+        outcome = mcu.handle_execute("crc32", data)
+        assert outcome.output == copro.bank.by_name("crc32").behaviour(data)
+
+    def test_breakdown_phases_sum_to_total(self, system):
+        mcu, _ = system
+        outcome = mcu.handle_execute("crc32", b"some data")
+        assert outcome.total_time_ns == pytest.approx(sum(outcome.breakdown().values()), rel=1e-6)
+
+    def test_hit_path_is_much_faster_than_miss_path(self, system):
+        mcu, _ = system
+        miss = mcu.handle_execute("parity32", bytes(4))
+        hit = mcu.handle_execute("parity32", bytes(4))
+        assert not miss.hit and hit.hit
+        assert hit.total_time_ns < miss.total_time_ns / 5
+
+    def test_ram_is_released_after_each_request(self, system):
+        mcu, copro = system
+        for index in range(5):
+            mcu.handle_execute("crc32", bytes([index]) * 32)
+        assert copro.ram.bytes_allocated == 0
+
+    def test_empty_input_is_handled(self, system):
+        mcu, copro = system
+        outcome = mcu.handle_execute("crc32", b"")
+        assert outcome.output == copro.bank.by_name("crc32").behaviour(b"")
+
+    def test_unknown_function_raises(self, system):
+        mcu, _ = system
+        with pytest.raises(KeyError):
+            mcu.handle_execute("ghost", b"")
+
+    def test_outcome_recording_is_bounded(self, system):
+        mcu, _ = system
+        mcu.max_recorded_outcomes = 3
+        for _ in range(6):
+            mcu.handle_execute("crc32", b"abc")
+        assert len(mcu.outcomes) == 3
+        assert mcu.requests_handled == 6
+
+
+class TestEvictionUnderPressure:
+    def test_working_set_larger_than_fabric_triggers_evictions(self):
+        # A fabric with very few frames forces the small bank to thrash.
+        config = SMALL_CONFIG.with_overrides(fabric_columns=2, fabric_rows=16, clb_rows_per_frame=4)
+        copro = build_coprocessor(config=config, bank=build_small_bank())
+        names = ["crc32", "parity32", "adder8", "popcount8"]
+        for _ in range(3):
+            for name in names:
+                data = bytes(copro.bank.by_name(name).spec.input_bytes)
+                result = copro.execute(name, data)
+                assert result.output == copro.bank.by_name(name).behaviour(data)
+        assert copro.stats.evictions > 0
+        # The free frame list and the device agree after all that churn.
+        owned = sum(len(frames) for frames in copro.device.memory.owners().values())
+        assert owned + copro.minios.free_frames.free_count == copro.geometry.frame_count

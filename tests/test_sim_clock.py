@@ -1,0 +1,114 @@
+"""Tests for the simulation clock and clock domains."""
+
+import pytest
+
+from repro.sim.clock import Clock, ClockDomain, Stopwatch, TimeUnit, format_time
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(125.0).now == 125.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(10.0)
+        clock.advance(5.5)
+        assert clock.now == pytest.approx(15.5)
+
+    def test_advance_rejects_negative_delta(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_moves_forward_only(self):
+        clock = Clock()
+        clock.advance_to(100.0)
+        assert clock.now == 100.0
+        clock.advance_to(50.0)  # no-op: already past
+        assert clock.now == 100.0
+
+    def test_reset(self):
+        clock = Clock()
+        clock.advance(42.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_observers_receive_previous_and_new_time(self):
+        clock = Clock()
+        seen = []
+        clock.add_observer(lambda previous, new: seen.append((previous, new)))
+        clock.advance(3.0)
+        clock.advance(2.0)
+        assert seen == [(0.0, 3.0), (3.0, 5.0)]
+
+    def test_remove_observer(self):
+        clock = Clock()
+        seen = []
+        callback = lambda previous, new: seen.append(new)  # noqa: E731
+        clock.add_observer(callback)
+        clock.advance(1.0)
+        clock.remove_observer(callback)
+        clock.advance(1.0)
+        assert seen == [1.0]
+
+    def test_now_in_units(self):
+        clock = Clock()
+        clock.advance(2_500_000.0)
+        assert clock.now_in(TimeUnit.MILLISECONDS) == pytest.approx(2.5)
+        assert clock.now_in(TimeUnit.MICROSECONDS) == pytest.approx(2500.0)
+
+
+class TestClockDomain:
+    def test_period_and_conversions(self):
+        domain = ClockDomain("fabric", 100e6)
+        assert domain.period_ns == pytest.approx(10.0)
+        assert domain.cycles_to_ns(5) == pytest.approx(50.0)
+        assert domain.ns_to_cycles(100.0) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            ClockDomain("bad", 0.0)
+
+    def test_registration_and_lookup(self):
+        clock = Clock()
+        domain = clock.register_domain(ClockDomain("pci", 33e6))
+        assert clock.domain("pci") is domain
+        with pytest.raises(KeyError):
+            clock.domain("missing")
+        with pytest.raises(ValueError):
+            clock.register_domain(ClockDomain("pci", 66e6))
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (1.0, "1.000ns"),
+            (1500.0, "1.500us"),
+            (2_000_000.0, "2.000ms"),
+            (3_500_000_000.0, "3.500s"),
+        ],
+    )
+    def test_uses_readable_units(self, value, expected):
+        assert format_time(value) == expected
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        clock = Clock()
+        watch = Stopwatch(clock).start()
+        clock.advance(125.0)
+        assert watch.elapsed_ns == pytest.approx(125.0)
+        clock.advance(25.0)
+        assert watch.stop() == pytest.approx(150.0)
+
+    def test_requires_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch(Clock()).stop()

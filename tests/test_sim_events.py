@@ -1,0 +1,83 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.schedule(30.0, name="c")
+        queue.schedule(10.0, name="a")
+        queue.schedule(20.0, name="b")
+        assert [queue.pop().name for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_by_priority_then_insertion(self):
+        queue = EventQueue()
+        queue.schedule(10.0, name="later", priority=5)
+        queue.schedule(10.0, name="first", priority=0)
+        queue.schedule(10.0, name="second", priority=0)
+        assert [queue.pop().name for _ in range(3)] == ["first", "second", "later"]
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.schedule(1.0)
+        assert queue and len(queue) == 1
+        queue.pop()
+        assert not queue
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.schedule(5.0, name="only")
+        assert queue.peek().name == "only"
+        assert len(queue) == 1
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        victim = queue.schedule(1.0, name="victim")
+        queue.schedule(2.0, name="keeper")
+        queue.cancel(victim)
+        assert queue.pop().name == "keeper"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0)
+
+    def test_callbacks_fire(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, name="cb", callback=lambda event: fired.append(event.name))
+        queue.pop().fire()
+        assert fired == ["cb"]
+
+    def test_cancelled_event_does_not_fire(self):
+        fired = []
+        event = Event(1.0, name="x", callback=lambda e: fired.append(1))
+        event.cancel()
+        event.fire()
+        assert fired == []
+
+    def test_drain_yields_in_order(self):
+        queue = EventQueue()
+        for time in (3.0, 1.0, 2.0):
+            queue.schedule(time)
+        assert [event.time_ns for event in queue.drain()] == [1.0, 2.0, 3.0]
+        assert not queue
+
+    def test_next_time(self):
+        queue = EventQueue()
+        assert queue.next_time is None
+        queue.schedule(7.0)
+        assert queue.next_time == 7.0
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1.0)
+        queue.clear()
+        assert len(queue) == 0

@@ -1,0 +1,211 @@
+"""Tests for the process-oriented simulator."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.kernel import Simulator, SimulationError, Timeout, WaitEvent
+
+
+class TestTimeouts:
+    def test_single_process_advances_time(self):
+        simulator = Simulator()
+
+        def worker():
+            yield Timeout(100.0)
+            yield Timeout(50.0)
+
+        simulator.spawn(worker())
+        end = simulator.run()
+        assert end == pytest.approx(150.0)
+
+    def test_processes_interleave(self):
+        simulator = Simulator()
+        order = []
+
+        def worker(name, delay):
+            yield Timeout(delay)
+            order.append(name)
+
+        simulator.spawn(worker("slow", 20.0))
+        simulator.spawn(worker("fast", 5.0))
+        simulator.run()
+        assert order == ["fast", "slow"]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_process_result_recorded(self):
+        simulator = Simulator()
+
+        def worker():
+            yield Timeout(1.0)
+            return 42
+
+        process = simulator.spawn(worker())
+        simulator.run()
+        assert process.finished and process.result == 42
+
+    def test_run_until_limits_time(self):
+        simulator = Simulator()
+
+        def worker():
+            yield Timeout(1000.0)
+
+        simulator.spawn(worker())
+        end = simulator.run(until_ns=100.0)
+        assert end == pytest.approx(100.0)
+
+
+class TestWaitEvents:
+    def test_trigger_wakes_waiter(self):
+        simulator = Simulator()
+        gate = WaitEvent("gate")
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append(value)
+
+        def opener():
+            yield Timeout(10.0)
+            simulator.trigger(gate, "opened")
+
+        simulator.spawn(waiter())
+        simulator.spawn(opener())
+        simulator.run()
+        assert log == ["opened"]
+
+    def test_double_trigger_raises(self):
+        gate = WaitEvent("gate")
+        gate.succeed()
+        with pytest.raises(SimulationError):
+            gate.succeed()
+
+
+class TestResources:
+    def test_serialises_access(self):
+        simulator = Simulator()
+        resource = simulator.resource(capacity=1, name="bus")
+        log = []
+
+        def user(name):
+            yield resource.request()
+            log.append((name, simulator.clock.now, "acquire"))
+            yield Timeout(10.0)
+            resource.release()
+
+        simulator.spawn(user("a"))
+        simulator.spawn(user("b"))
+        simulator.run()
+        acquire_times = [entry[1] for entry in log]
+        assert acquire_times == [0.0, 10.0]
+
+    def test_capacity_two_allows_parallelism(self):
+        simulator = Simulator()
+        resource = simulator.resource(capacity=2)
+        acquired = []
+
+        def user():
+            yield resource.request()
+            acquired.append(simulator.clock.now)
+            yield Timeout(5.0)
+            resource.release()
+
+        for _ in range(2):
+            simulator.spawn(user())
+        simulator.run()
+        assert acquired == [0.0, 0.0]
+
+    def test_release_of_idle_resource_raises(self):
+        simulator = Simulator()
+        resource = simulator.resource()
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_wait_time_accounted(self):
+        simulator = Simulator()
+        resource = simulator.resource(capacity=1)
+
+        def user():
+            yield resource.request()
+            yield Timeout(20.0)
+            resource.release()
+
+        simulator.spawn(user())
+        simulator.spawn(user())
+        simulator.run()
+        assert resource.total_wait_ns == pytest.approx(20.0)
+        assert resource.total_acquisitions == 2
+
+
+class TestStores:
+    def test_put_then_get(self):
+        simulator = Simulator()
+        store = simulator.store()
+        received = []
+
+        def producer():
+            yield Timeout(5.0)
+            store.put("item")
+
+        def consumer():
+            item = yield store.get()
+            received.append((item, simulator.clock.now))
+
+        simulator.spawn(consumer())
+        simulator.spawn(producer())
+        simulator.run()
+        assert received == [("item", 5.0)]
+
+    def test_get_from_nonempty_store_is_immediate(self):
+        simulator = Simulator()
+        store = simulator.store()
+        store.put(1)
+        received = []
+
+        def consumer():
+            received.append((yield store.get()))
+
+        simulator.spawn(consumer())
+        simulator.run()
+        assert received == [1]
+
+
+class TestProcessJoin:
+    def test_waiting_on_a_process_returns_its_result(self):
+        simulator = Simulator()
+        results = []
+
+        def child():
+            yield Timeout(10.0)
+            return "done"
+
+        def parent():
+            value = yield simulator.spawn(child())
+            results.append((value, simulator.clock.now))
+
+        simulator.spawn(parent())
+        simulator.run()
+        assert results == [("done", 10.0)]
+
+    def test_unknown_yield_raises(self):
+        simulator = Simulator()
+
+        def bad():
+            yield 123
+
+        simulator.spawn(bad())
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_shared_clock(self):
+        clock = Clock()
+        simulator = Simulator(clock)
+
+        def worker():
+            yield Timeout(30.0)
+
+        simulator.spawn(worker())
+        simulator.run()
+        assert clock.now == pytest.approx(30.0)

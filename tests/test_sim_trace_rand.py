@@ -1,0 +1,134 @@
+"""Tests for the trace recorder and the seeded RNG helpers."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.rand import SeededRandom
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        recorder = TraceRecorder()
+        recorder.record("rom", "read", 0.0, 10.0, length=4)
+        recorder.record("rom", "read", 10.0, 30.0, length=8)
+        assert len(recorder) == 2
+        assert recorder.total_time("rom", "read") == pytest.approx(30.0)
+
+    def test_rejects_negative_duration(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError):
+            recorder.record("x", "y", 10.0, 5.0)
+
+    def test_disabled_recorder_drops_everything(self):
+        recorder = TraceRecorder(enabled=False)
+        assert recorder.record("x", "y", 0.0, 1.0) is None
+        assert len(recorder) == 0
+
+    def test_capacity_limits_retention(self):
+        recorder = TraceRecorder(capacity=2)
+        for index in range(4):
+            recorder.record("c", "a", index, index + 1)
+        assert len(recorder) == 2
+        assert recorder.dropped == 2
+        assert "dropped" in recorder.report()
+
+    def test_span_context_manager(self):
+        clock = Clock()
+        recorder = TraceRecorder(clock)
+        with recorder.span("pci", "burst", length=16) as span:
+            clock.advance(50.0)
+            span.annotate(status="ok")
+        event = recorder.events[0]
+        assert event.duration_ns == pytest.approx(50.0)
+        assert event.attributes == {"length": 16, "status": "ok"}
+
+    def test_span_requires_clock(self):
+        with pytest.raises(RuntimeError):
+            TraceRecorder().span("a", "b")
+
+    def test_breakdown_and_filters(self):
+        recorder = TraceRecorder()
+        recorder.record("rom", "read", 0.0, 5.0)
+        recorder.record("ram", "write", 5.0, 6.0)
+        assert recorder.breakdown() == {"rom.read": 5.0, "ram.write": 1.0}
+        assert len(recorder.by_component("rom")) == 1
+        assert len(recorder.by_action("write")) == 1
+
+    def test_describe_mentions_component(self):
+        recorder = TraceRecorder()
+        event = recorder.record("fpga", "configure", 0.0, 100.0, frames=3)
+        assert "fpga.configure" in event.describe()
+
+
+class TestSeededRandom:
+    def test_reproducible(self):
+        a = SeededRandom(42)
+        b = SeededRandom(42)
+        assert [a.integer(0, 100) for _ in range(10)] == [b.integer(0, 100) for _ in range(10)]
+
+    def test_fork_is_deterministic_and_independent(self):
+        a = SeededRandom(1).fork("x")
+        b = SeededRandom(1).fork("x")
+        c = SeededRandom(1).fork("y")
+        sequence_a = [a.integer(0, 1000) for _ in range(5)]
+        sequence_b = [b.integer(0, 1000) for _ in range(5)]
+        sequence_c = [c.integer(0, 1000) for _ in range(5)]
+        assert sequence_a == sequence_b
+        assert sequence_a != sequence_c
+
+    def test_bytes_deterministic_length(self):
+        rng = SeededRandom(3)
+        data = rng.bytes(32)
+        assert len(data) == 32
+        assert SeededRandom(3).bytes(32) == data
+
+    def test_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SeededRandom().bytes(-1)
+
+    def test_choice_and_shuffle_preserve_elements(self):
+        rng = SeededRandom(5)
+        items = list(range(20))
+        assert rng.choice(items) in items
+        shuffled = rng.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # input untouched
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SeededRandom().choice([])
+
+    def test_zipf_skew_prefers_low_indices(self):
+        rng = SeededRandom(7)
+        draws = [rng.zipf_index(10, skew=1.5) for _ in range(2000)]
+        low = sum(1 for value in draws if value < 3)
+        assert low / len(draws) > 0.6
+        assert all(0 <= value < 10 for value in draws)
+
+    def test_zipf_zero_skew_is_roughly_uniform(self):
+        rng = SeededRandom(11)
+        draws = [rng.zipf_index(4, skew=0.0) for _ in range(4000)]
+        counts = [draws.count(index) for index in range(4)]
+        assert min(counts) > 700
+
+    def test_zipf_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            SeededRandom().zipf_index(0)
+        with pytest.raises(ValueError):
+            SeededRandom().zipf_index(5, skew=-1)
+
+    def test_exponential_mean(self):
+        rng = SeededRandom(13)
+        samples = [rng.exponential(100.0) for _ in range(4000)]
+        assert 85.0 < sum(samples) / len(samples) < 115.0
+        with pytest.raises(ValueError):
+            rng.exponential(0.0)
+
+    def test_geometric(self):
+        rng = SeededRandom(17)
+        samples = [rng.geometric(0.5) for _ in range(2000)]
+        assert all(sample >= 1 for sample in samples)
+        assert 1.7 < sum(samples) / len(samples) < 2.3
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
