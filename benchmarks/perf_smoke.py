@@ -1,0 +1,211 @@
+"""Fast-path perf smoke harness: codec throughput and sim-kernel event rate.
+
+Runs in a few seconds and writes ``BENCH_codecs.json`` / ``BENCH_kernel.json``
+at the repo root so successive PRs leave a perf trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+The workload is deterministic: the codec corpus is CLB-structured /
+sparse / random data seeded with fixed RNG seeds, and the kernel scenario is a
+fixed mix of timeout, resource and store traffic.  Besides throughput the
+kernel section records ``events_dispatched`` and the final simulated time so
+schedule determinism regressions show up as a changed *workload fingerprint*,
+not just a changed rate.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import random
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bitstream.codecs import (  # noqa: E402
+    FrameDifferentialCodec,
+    GolombRiceCodec,
+    HuffmanCodec,
+    LZ77Codec,
+    RunLengthCodec,
+    SymmetryAwareCodec,
+)
+from repro.sim.kernel import Simulator, Timeout  # noqa: E402
+
+_MIN_SECONDS = 0.15
+
+
+# --------------------------------------------------------------------- corpus
+def clb_structured(total: int, seed: int = 3) -> bytes:
+    """Strided 42-byte CLB records drawn from a 4-pattern pool."""
+    rng = random.Random(seed)
+    pool = [rng.randrange(1, 1 << 16) for _ in range(4)]
+    routing = [0x40 | rng.randrange(0x40) for _ in range(4)]
+    records = bytearray()
+    clb = 0
+    while len(records) < total:
+        slot = (clb // 4) % 4
+        pattern = pool[slot]
+        rec = bytearray(42)
+        for lut in range(8):
+            rec[lut * 2] = pattern & 0xFF
+            rec[lut * 2 + 1] = (pattern >> 8) & 0xFF
+        for pos in range(16, 42, 4):
+            rec[pos] = routing[slot]
+        records.extend(rec)
+        clb += 1
+    return bytes(records[:total])
+
+
+def sparse(total: int, fill: int, seed: int = 2) -> bytes:
+    rng = random.Random(seed)
+    data = bytearray(total)
+    for _ in range(fill):
+        data[rng.randrange(total)] = rng.randrange(1, 256)
+    return bytes(data)
+
+
+def _throughput(fn, payload_len: int) -> float:
+    """MB/s of raw payload through *fn*, timed for at least _MIN_SECONDS."""
+    fn()  # warm-up
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        reps = 0
+        start = time.perf_counter()
+        while True:
+            fn()
+            reps += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= _MIN_SECONDS:
+                break
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return payload_len * reps / elapsed / 1e6
+
+
+def bench_codecs() -> dict:
+    clb = clb_structured(64 * 1024)
+    sparse_data = sparse(64 * 1024, 2000)
+    rng = random.Random(7)
+    mixed = bytearray(sparse(64 * 1024, 6000, seed=5))
+    mixed[8192:16384] = rng.randbytes(8192)
+    mixed = bytes(mixed)
+
+    cases = {
+        "huffman": (HuffmanCodec(), mixed),
+        "golomb": (GolombRiceCodec(), mixed),
+        "lz77": (LZ77Codec(), clb),
+        "rle": (RunLengthCodec(), sparse_data),
+        "framediff": (FrameDifferentialCodec(), clb),
+        "symmetry": (SymmetryAwareCodec(), clb),
+    }
+    results = {}
+    for name, (codec, payload) in cases.items():
+        blob = codec.compress(payload)
+        assert codec.decompress(blob) == payload, name
+        results[name] = {
+            "payload_bytes": len(payload),
+            "compressed_bytes": len(blob),
+            "compress_MBps": round(_throughput(lambda: codec.compress(payload), len(payload)), 3),
+            "decompress_MBps": round(_throughput(lambda: codec.decompress(blob), len(payload)), 3),
+        }
+    return results
+
+
+# --------------------------------------------------------------------- kernel
+def _kernel_scenario(simulator: Simulator, workers: int, rounds: int) -> None:
+    # Delay sequences are precomputed so the timed region measures the
+    # kernel's dispatch cost, not the workload's arithmetic; the schedule is
+    # identical to computing them inline.
+    bus = simulator.resource(capacity=2, name="bus")
+    queue = simulator.store(name="jobs")
+
+    def producer(pid: int, delays):
+        for round_index, delay in enumerate(delays):
+            yield Timeout(delay)
+            queue.put((pid, round_index))
+
+    def consumer(jobs: int):
+        for _ in range(jobs):
+            yield queue.get()
+            yield bus.request()
+            yield Timeout(3.0)
+            bus.release()
+
+    for pid in range(workers):
+        delays = [float(10 + (pid * 7 + round_index) % 23) for round_index in range(rounds)]
+        simulator.spawn(producer(pid, delays), delay_ns=float(pid % 5))
+    simulator.spawn(consumer(workers * rounds // 2))
+    simulator.spawn(consumer(workers * rounds // 2))
+
+
+def bench_kernel(workers: int = 40, rounds: int = 250, repeats: int = 8) -> dict:
+    """Best-of-*repeats* event rate, plus the schedule fingerprint.
+
+    Repeats both warm the CPU (frequency governors distort single short runs)
+    and verify determinism: every repetition must dispatch the same number of
+    events and end at the same simulated time.
+    """
+    fingerprint = None
+    best_rate = 0.0
+    best_elapsed = 0.0
+    for _ in range(repeats):
+        simulator = Simulator()
+        _kernel_scenario(simulator, workers, rounds)
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            final_time = simulator.run()
+            elapsed = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        run_print = (simulator.events_dispatched, final_time)
+        if fingerprint is None:
+            fingerprint = run_print
+        elif run_print != fingerprint:
+            raise AssertionError(
+                f"non-deterministic schedule: {run_print} != {fingerprint}"
+            )
+        rate = simulator.events_dispatched / elapsed
+        if rate > best_rate:
+            best_rate = rate
+            best_elapsed = elapsed
+    return {
+        "workers": workers,
+        "rounds": rounds,
+        "repeats": repeats,
+        "events_dispatched": fingerprint[0],
+        "final_time_ns": fingerprint[1],
+        "elapsed_s": round(best_elapsed, 4),
+        "events_per_s": round(best_rate),
+    }
+
+
+def _warm_up(seconds: float = 0.3) -> None:
+    """Spin briefly so frequency governors reach steady state before timing."""
+    deadline = time.perf_counter() + seconds
+    value = 1
+    while time.perf_counter() < deadline:
+        value = (value * 1664525 + 1013904223) % (1 << 64)
+
+
+def main() -> None:
+    _warm_up()
+    codecs = bench_codecs()
+    kernel = bench_kernel()
+    (REPO_ROOT / "BENCH_codecs.json").write_text(json.dumps(codecs, indent=2) + "\n")
+    (REPO_ROOT / "BENCH_kernel.json").write_text(json.dumps(kernel, indent=2) + "\n")
+    print(json.dumps({"codecs": codecs, "kernel": kernel}, indent=2))
+
+
+if __name__ == "__main__":
+    main()

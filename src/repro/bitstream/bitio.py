@@ -1,8 +1,23 @@
-"""Bit-level I/O helpers used by the entropy codecs (Huffman, Golomb-Rice)."""
+"""Bit-level I/O helpers used by the entropy codecs (Huffman, Golomb-Rice).
+
+Both classes batch their work through Python integers instead of looping per
+bit: the writer accumulates bits in an int and emits whole bytes with
+``int.to_bytes``; the reader refills an int bit-buffer from the byte string in
+large chunks with ``int.from_bytes`` and serves ``read_bits`` /
+``read_unary`` word-at-a-time out of it.  The bit-stream format (MSB first,
+zero-padded to a whole byte) is unchanged.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List
+#: Flush the writer's accumulator once it holds this many bits, so the int
+#: stays a few machine words wide and appending to it stays O(1).
+_FLUSH_BITS = 512
+
+#: How many bytes the reader pulls into its bit buffer per refill.  Small
+#: refills keep the buffer a few machine words wide, so the per-read shift and
+#: mask stay O(1); large refills would turn them into multi-word operations.
+_REFILL_BYTES = 64
 
 
 class BitWriter:
@@ -10,44 +25,57 @@ class BitWriter:
 
     def __init__(self) -> None:
         self._buffer = bytearray()
-        self._current = 0
-        self._filled = 0
+        self._acc = 0
+        self._acc_bits = 0
         self.bit_count = 0
+
+    def _flush_whole_bytes(self) -> None:
+        remainder = self._acc_bits & 7
+        whole_bits = self._acc_bits - remainder
+        if whole_bits:
+            self._buffer += (self._acc >> remainder).to_bytes(whole_bits >> 3, "big")
+            self._acc &= (1 << remainder) - 1
+            self._acc_bits = remainder
 
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
         if bit not in (0, 1):
             raise ValueError("bit must be 0 or 1")
-        self._current = (self._current << 1) | bit
-        self._filled += 1
+        self._acc = (self._acc << 1) | bit
+        self._acc_bits += 1
         self.bit_count += 1
-        if self._filled == 8:
-            self._buffer.append(self._current)
-            self._current = 0
-            self._filled = 0
+        if self._acc_bits >= _FLUSH_BITS:
+            self._flush_whole_bytes()
 
     def write_bits(self, value: int, width: int) -> None:
         """Append *width* bits of *value*, most significant first."""
         if width < 0:
             raise ValueError("bit width cannot be negative")
-        if value < 0 or (width < 64 and value >= (1 << width)):
+        if value < 0 or value >> width:
             raise ValueError(f"value {value} does not fit in {width} bits")
-        for position in range(width - 1, -1, -1):
-            self.write_bit((value >> position) & 1)
+        self._acc = (self._acc << width) | value
+        self._acc_bits += width
+        self.bit_count += width
+        if self._acc_bits >= _FLUSH_BITS:
+            self._flush_whole_bytes()
 
     def write_unary(self, value: int) -> None:
         """Append *value* one-bits followed by a terminating zero."""
         if value < 0:
             raise ValueError("unary values must be non-negative")
-        for _ in range(value):
-            self.write_bit(1)
-        self.write_bit(0)
+        # value ones then a zero, as one integer: 2**(value+1) - 2.
+        self._acc = (self._acc << (value + 1)) | ((1 << (value + 1)) - 2)
+        self._acc_bits += value + 1
+        self.bit_count += value + 1
+        if self._acc_bits >= _FLUSH_BITS:
+            self._flush_whole_bytes()
 
     def getvalue(self) -> bytes:
         """The written bits padded with zeros to a whole number of bytes."""
+        self._flush_whole_bytes()
         result = bytearray(self._buffer)
-        if self._filled:
-            result.append(self._current << (8 - self._filled))
+        if self._acc_bits:
+            result.append((self._acc << (8 - self._acc_bits)) & 0xFF)
         return bytes(result)
 
 
@@ -55,38 +83,78 @@ class BitReader:
     """Reads bits most-significant-bit first from a byte string."""
 
     def __init__(self, data: bytes) -> None:
-        self._data = data
-        self._position = 0  # bit position
+        self._data = bytes(data)
+        self._total_bits = len(self._data) * 8
+        self._byte_pos = 0  # next byte to refill the bit buffer from
+        self._buf = 0  # buffered bits; the next bit to read is the MSB
+        self._buf_bits = 0
 
     @property
     def bits_remaining(self) -> int:
-        return len(self._data) * 8 - self._position
+        return self._total_bits - self._byte_pos * 8 + self._buf_bits
+
+    def _refill(self) -> bool:
+        chunk = self._data[self._byte_pos : self._byte_pos + _REFILL_BYTES]
+        if not chunk:
+            return False
+        self._byte_pos += len(chunk)
+        self._buf = (self._buf << (len(chunk) * 8)) | int.from_bytes(chunk, "big")
+        self._buf_bits += len(chunk) * 8
+        return True
 
     def read_bit(self) -> int:
-        if self._position >= len(self._data) * 8:
-            raise EOFError("attempt to read past the end of the bit stream")
-        byte_index, bit_index = divmod(self._position, 8)
-        self._position += 1
-        return (self._data[byte_index] >> (7 - bit_index)) & 1
+        buf_bits = self._buf_bits
+        if not buf_bits:
+            if not self._refill():
+                raise EOFError("attempt to read past the end of the bit stream")
+            buf_bits = self._buf_bits
+        buf_bits -= 1
+        bit = self._buf >> buf_bits
+        self._buf &= (1 << buf_bits) - 1
+        self._buf_bits = buf_bits
+        return bit
 
     def read_bits(self, width: int) -> int:
         """Read *width* bits as an unsigned integer (MSB first)."""
         if width < 0:
             raise ValueError("bit width cannot be negative")
-        value = 0
-        for _ in range(width):
-            value = (value << 1) | self.read_bit()
+        while self._buf_bits < width:
+            if not self._refill():
+                raise EOFError("attempt to read past the end of the bit stream")
+        buf_bits = self._buf_bits - width
+        value = self._buf >> buf_bits
+        self._buf &= (1 << buf_bits) - 1
+        self._buf_bits = buf_bits
         return value
 
     def read_unary(self) -> int:
         """Read a unary-coded value (count of one-bits before the zero)."""
         count = 0
-        while self.read_bit() == 1:
-            count += 1
-        return count
+        while True:
+            buf_bits = self._buf_bits
+            if not buf_bits:
+                if not self._refill():
+                    raise EOFError("attempt to read past the end of the bit stream")
+                buf_bits = self._buf_bits
+            buf = self._buf
+            inverted = buf ^ ((1 << buf_bits) - 1)
+            if not inverted:
+                # Every buffered bit is a one; consume them all and refill.
+                count += buf_bits
+                self._buf = 0
+                self._buf_bits = 0
+                continue
+            # Highest zero bit terminates the run of ones above it.
+            zero_pos = inverted.bit_length() - 1
+            count += buf_bits - 1 - zero_pos
+            self._buf = buf & ((1 << zero_pos) - 1)
+            self._buf_bits = zero_pos
+            return count
 
     def align_to_byte(self) -> None:
         """Skip forward to the next byte boundary."""
-        remainder = self._position % 8
+        consumed = self._byte_pos * 8 - self._buf_bits
+        remainder = consumed & 7
         if remainder:
-            self._position += 8 - remainder
+            self._buf_bits -= 8 - remainder
+            self._buf &= (1 << self._buf_bits) - 1

@@ -22,10 +22,20 @@ from repro.bitstream.codecs.rle import RunLengthCodec
 
 
 def _xor_bytes(data: bytes, reference: bytes) -> bytes:
-    """XOR *data* with *reference* (reference padded/truncated to match)."""
-    if len(reference) < len(data):
-        reference = reference + b"\x00" * (len(data) - len(reference))
-    return bytes(a ^ b for a, b in zip(data, reference[: len(data)]))
+    """XOR *data* with *reference* (reference padded/truncated to match).
+
+    Both buffers are treated as one big integer so the XOR runs word-at-a-time
+    instead of byte-at-a-time.
+    """
+    size = len(data)
+    if not size:
+        return b""
+    if len(reference) > size:
+        reference = reference[:size]
+    value = int.from_bytes(data, "big") ^ (
+        int.from_bytes(reference, "big") << (8 * (size - len(reference)))
+    )
+    return value.to_bytes(size, "big")
 
 
 class FrameDifferentialCodec(Codec):
@@ -41,24 +51,30 @@ class FrameDifferentialCodec(Codec):
 
     # --------------------------------------------------------- whole buffer
     def compress(self, data: bytes) -> bytes:
-        transformed = bytearray()
-        previous = b"\x00" * self.frame_size
-        for start in range(0, len(data), self.frame_size):
-            window = data[start : start + self.frame_size]
-            transformed.extend(_xor_bytes(window, previous))
-            previous = window
-        return self._inner.compress(bytes(transformed))
+        # XOR-ing every frame with the previous raw frame is, viewed as one
+        # big integer, ``data ^ (data >> frame_size bytes)``: the shift drops
+        # frame i-1's bytes onto frame i (and zeros onto frame 0).
+        size = len(data)
+        if not size:
+            return self._inner.compress(b"")
+        value = int.from_bytes(data, "big")
+        transformed = value ^ (value >> (8 * self.frame_size))
+        return self._inner.compress(transformed.to_bytes(size, "big"))
 
     def decompress(self, blob: bytes) -> bytes:
         transformed = self._inner.decompress(blob)
-        out = bytearray()
-        previous = b"\x00" * self.frame_size
-        for start in range(0, len(transformed), self.frame_size):
-            delta = transformed[start : start + self.frame_size]
-            window = _xor_bytes(delta, previous)
-            out.extend(window)
-            previous = window
-        return bytes(out)
+        size = len(transformed)
+        if not size:
+            return b""
+        # Inverse of the shifted XOR: a strided prefix-XOR, computed with the
+        # doubling trick (each pass folds in frames twice as far back).
+        value = int.from_bytes(transformed, "big")
+        shift = 8 * self.frame_size
+        total_bits = 8 * size
+        while shift < total_bits:
+            value ^= value >> shift
+            shift <<= 1
+        return value.to_bytes(size, "big")
 
     # ------------------------------------------------------------- windowed
     def compress_window(self, window: bytes, previous_window: Optional[bytes] = None) -> bytes:

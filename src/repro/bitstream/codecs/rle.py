@@ -14,6 +14,7 @@ Format (per segment):
 
 from __future__ import annotations
 
+import re
 import struct
 
 from repro.bitstream.codecs.base import Codec, CodecError, register_codec
@@ -23,6 +24,12 @@ _LITERAL = 0x01
 _MAX_SEGMENT = 0xFFFF
 _MIN_RUN = 3
 
+#: Matches one maximal run (length >= _MIN_RUN) of a repeated byte.  Literal
+#: regions are the gaps between matches, so run-poor data never iterates in
+#: Python at all; the scanner below re-chunks runs longer than _MAX_SEGMENT
+#: exactly like the per-byte loop did.
+_RUN_SCANNER = re.compile(rb"(.)\1{2,}", re.DOTALL)
+
 
 class RunLengthCodec(Codec):
     """Run-length codec with two-byte run/literal lengths."""
@@ -31,39 +38,35 @@ class RunLengthCodec(Codec):
 
     def compress(self, data: bytes) -> bytes:
         out = bytearray()
-        literal = bytearray()
-        index = 0
-        length = len(data)
+        pack = struct.pack
+        # Start of the pending literal region; runs flush it.
+        pending = 0
 
-        def flush_literal() -> None:
-            start = 0
-            while start < len(literal):
-                chunk = literal[start : start + _MAX_SEGMENT]
+        def flush_literal(start: int, end: int) -> None:
+            while start < end:
+                chunk_end = min(start + _MAX_SEGMENT, end)
                 out.append(_LITERAL)
-                out.extend(struct.pack(">H", len(chunk)))
-                out.extend(chunk)
-                start += _MAX_SEGMENT
-            literal.clear()
+                out.extend(pack(">H", chunk_end - start))
+                out.extend(data[start:chunk_end])
+                start = chunk_end
 
-        while index < length:
-            value = data[index]
-            run = 1
-            while (
-                index + run < length
-                and data[index + run] == value
-                and run < _MAX_SEGMENT
-            ):
-                run += 1
-            if run >= _MIN_RUN:
-                flush_literal()
+        for match in _RUN_SCANNER.finditer(data):
+            start, end = match.start(), match.end()
+            value = data[start]
+            run = end - start
+            # Split maximal runs into _MAX_SEGMENT chunks, exactly as the
+            # per-byte scanner did: a short (< _MIN_RUN) final chunk is not
+            # emitted as a run but joins the following literal region.
+            while run >= _MIN_RUN:
+                chunk = run if run < _MAX_SEGMENT else _MAX_SEGMENT
+                flush_literal(pending, start)
                 out.append(_RUN)
-                out.extend(struct.pack(">H", run))
+                out.extend(pack(">H", chunk))
                 out.append(value)
-                index += run
-            else:
-                literal.extend(data[index : index + run])
-                index += run
-        flush_literal()
+                start += chunk
+                run -= chunk
+                pending = start
+        flush_literal(pending, len(data))
         return bytes(out)
 
     def decompress(self, blob: bytes) -> bytes:

@@ -68,24 +68,26 @@ class CompressedImage:
 
     # ------------------------------------------------------------ serialise
     def to_bytes(self) -> bytes:
-        """Serialise for storage in the ROM."""
+        """Serialise for storage in the ROM.
+
+        Single pass: the per-window CRC and the running payload CRC are
+        computed together, then the header is patched in front.
+        """
         name_bytes = self.codec_name.encode("ascii")[:15].ljust(15, b"\x00")
         payload_crc = 0
+        parts: List[bytes] = [b""]  # placeholder for the image header
         for window in self.windows:
             payload_crc = crc32(window, payload_crc)
-        parts = [
-            _IMAGE_HEADER.pack(
-                _IMAGE_MAGIC,
-                1,
-                name_bytes,
-                self.window_bytes,
-                self.original_length,
-                payload_crc,
-            )
-        ]
-        for window in self.windows:
             parts.append(_WINDOW_HEADER.pack(len(window), crc32(window)))
             parts.append(window)
+        parts[0] = _IMAGE_HEADER.pack(
+            _IMAGE_MAGIC,
+            1,
+            name_bytes,
+            self.window_bytes,
+            self.original_length,
+            payload_crc,
+        )
         return b"".join(parts)
 
     @classmethod

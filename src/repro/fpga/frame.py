@@ -9,7 +9,7 @@ the paper explicitly allows the set to be non-contiguous.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.fpga.clb import ConfigurableLogicBlock
 from repro.fpga.geometry import FabricGeometry, FrameAddress
@@ -28,6 +28,11 @@ class Frame:
             )
             for _ in range(geometry.clbs_per_frame)
         ]
+        # Serialised configuration, kept in sync by load_config_bytes/clear.
+        # Callers that mutate CLB state directly (e.g. the bit-stream
+        # generator rendering into a scratch frame) must call
+        # invalidate_config_cache() before re-serialising.
+        self._config_cache: Optional[bytes] = None
 
     @property
     def flat_index(self) -> int:
@@ -41,14 +46,30 @@ class Frame:
         """Erase every CLB in the frame (the all-zero configuration)."""
         for clb in self.clbs:
             clb.clear()
+        self._config_cache = bytes(self.config_byte_length)
 
     @property
     def is_clear(self) -> bool:
+        cached = self._config_cache
+        if cached is not None:
+            return cached.count(0) == len(cached)
         return all(clb.is_clear for clb in self.clbs)
 
+    def invalidate_config_cache(self) -> None:
+        """Drop the cached serialisation after direct CLB mutation."""
+        self._config_cache = None
+
     def to_config_bytes(self) -> bytes:
-        """Serialise the frame in CLB order."""
-        return b"".join(clb.to_config_bytes() for clb in self.clbs)
+        """Serialise the frame in CLB order.
+
+        The result is cached: frames are re-serialised on every readback and
+        every bit-stream build, but only change on (infrequent) writes.
+        """
+        cached = self._config_cache
+        if cached is None:
+            cached = b"".join(clb.to_config_bytes() for clb in self.clbs)
+            self._config_cache = cached
+        return cached
 
     def load_config_bytes(self, data: bytes) -> None:
         """Apply a frame-sized slice of configuration data to the CLBs."""
@@ -61,6 +82,11 @@ class Frame:
         for index, clb in enumerate(self.clbs):
             chunk = data[index * per_clb : (index + 1) * per_clb]
             clb.load_config_bytes(chunk)
+        # Don't cache *data* itself: the CLB parser masks unused padding bits
+        # (FF/LUT bytes), so non-canonical input would make cached readback
+        # diverge from the real serialisation.  The next to_config_bytes
+        # recomputes once and caches the canonical form.
+        self._config_cache = None
 
     def lut_utilisation(self) -> float:
         """Fraction of LUTs in this frame holding non-trivial logic."""

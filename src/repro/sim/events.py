@@ -1,4 +1,18 @@
-"""Event primitives for the discrete-event kernel."""
+"""Event primitives for the discrete-event kernel.
+
+The queue has two scheduling paths sharing one heap and one sequence counter:
+
+* the :class:`Event` object path (``push`` / ``schedule``) for callers that
+  need named events, payloads or cancellation, and
+* an allocation-free fast path (``schedule_call``) that stores a bare
+  ``(time, priority, seq, None, fn, arg1, arg2)`` heap entry — no ``Event``,
+  no name string, no closure.  The simulator kernel uses this for every
+  continuation it schedules.
+
+Because both paths draw from the same monotonically increasing sequence
+counter and heap entries order by ``(time, priority, seq)``, schedules are
+deterministic and identical to the all-``Event`` implementation.
+"""
 
 from __future__ import annotations
 
@@ -24,6 +38,11 @@ class Event:
     callback: Optional[Callable[["Event"], None]] = None
     cancelled: bool = field(default=False, init=False)
     sequence: int = field(default=-1, init=False)
+    #: True once a queue has settled its live count for this event — on pop,
+    #: on lazy removal, or on EventQueue.cancel — so the event is never
+    #: counted twice (and cancelling an already-popped event is a no-op for
+    #: the count).
+    live_discounted: bool = field(default=False, init=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when it is popped."""
@@ -40,10 +59,11 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects.
+    """A deterministic priority queue of events and bare callbacks.
 
     The queue breaks ties by priority and insertion sequence so that two runs
-    with the same inputs produce the same schedule.
+    with the same inputs produce the same schedule.  ``len(queue)`` counts the
+    scheduled entries that have not been cancelled.
     """
 
     def __init__(self) -> None:
@@ -63,7 +83,9 @@ class EventQueue:
             raise ValueError("cannot schedule an event at negative time")
         seq = next(self._counter)
         event.sequence = seq
-        heapq.heappush(self._heap, (event.time_ns, event.priority, seq, event))
+        heapq.heappush(
+            self._heap, (event.time_ns, event.priority, seq, event, None, None, None)
+        )
         self._live += 1
         return event
 
@@ -80,33 +102,111 @@ class EventQueue:
             Event(time_ns=time_ns, name=name, payload=payload, priority=priority, callback=callback)
         )
 
+    def schedule_call(
+        self,
+        time_ns: float,
+        fn: Callable[[Any, Any], None],
+        arg1: Any = None,
+        arg2: Any = None,
+        priority: int = 0,
+    ) -> None:
+        """Fast path: schedule ``fn(arg1, arg2)`` with no Event allocation.
+
+        Entries scheduled this way cannot be cancelled or observed; they are
+        dispatched by :meth:`pop_entry` (or wrapped lazily by :meth:`pop`).
+        """
+        if time_ns < 0:
+            raise ValueError("cannot schedule an event at negative time")
+        heapq.heappush(
+            self._heap, (time_ns, priority, next(self._counter), None, fn, arg1, arg2)
+        )
+        self._live += 1
+
+    def pop_entry(self) -> tuple:
+        """Remove and return the earliest live heap entry.
+
+        The entry is ``(time_ns, priority, seq, event, fn, arg1, arg2)`` with
+        exactly one of ``event`` / ``fn`` set.  This is the kernel's dispatch
+        path; it skips cancelled events without allocating wrappers.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            event = entry[3]
+            if event is not None:
+                if event.cancelled:
+                    if not event.live_discounted:
+                        # Cancelled directly via Event.cancel(); count it now.
+                        event.live_discounted = True
+                        self._live -= 1
+                    continue
+                event.live_discounted = True
+            self._live -= 1
+            return entry
+        raise IndexError("pop from an empty EventQueue")
+
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
 
-        Raises :class:`IndexError` when the queue is empty.
+        Bare-callback entries are wrapped in an :class:`Event` for API
+        compatibility.  Raises :class:`IndexError` when the queue is empty.
         """
-        while self._heap:
-            _, _, _, event = heapq.heappop(self._heap)
-            self._live -= 1
-            if not event.cancelled:
-                return event
-        raise IndexError("pop from an empty EventQueue")
+        entry = self.pop_entry()
+        event = entry[3]
+        if event is not None:
+            return event
+        time_ns, priority, seq, _, fn, arg1, arg2 = entry
+        wrapped = Event(
+            time_ns=time_ns,
+            priority=priority,
+            callback=lambda _event: fn(arg1, arg2),
+        )
+        wrapped.sequence = seq
+        wrapped.live_discounted = True  # already counted by pop_entry
+        return wrapped
 
     def peek(self) -> Event:
-        """Return the earliest non-cancelled event without removing it."""
-        while self._heap:
-            _, _, _, event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                self._live -= 1
+        """Return the earliest non-cancelled event without removing it.
+
+        A bare-callback entry is materialised into an :class:`Event` *in
+        place* (the heap entry is swapped for an equivalent Event entry, same
+        ordering key), so ``peek().cancel()`` affects the queued entry and
+        repeated peeks return the same object.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                if not event.live_discounted:
+                    event.live_discounted = True
+                    self._live -= 1
                 continue
-            return event
+            if event is not None:
+                return event
+            time_ns, priority, seq, _, fn, arg1, arg2 = entry
+            wrapped = Event(
+                time_ns=time_ns,
+                priority=priority,
+                callback=lambda _event: fn(arg1, arg2),
+            )
+            wrapped.sequence = seq
+            heap[0] = (time_ns, priority, seq, wrapped, None, None, None)
+            return wrapped
         raise IndexError("peek on an empty EventQueue")
 
     def cancel(self, event: Event) -> None:
-        """Cancel a scheduled event (lazily removed)."""
+        """Cancel a scheduled event (lazily removed).
+
+        The live count is settled exactly once per event: an event that was
+        already popped (or already cancelled) is not decremented again, and
+        the lazily-removed entry is not counted a second time by pop/peek.
+        """
         event.cancel()
-        self._live = max(0, self._live - 1)
+        if not event.live_discounted:
+            event.live_discounted = True
+            self._live -= 1
 
     def clear(self) -> None:
         self._heap.clear()
@@ -120,7 +220,15 @@ class EventQueue:
     @property
     def next_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` when empty."""
-        try:
-            return self.peek().time_ns
-        except IndexError:
-            return None
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                if not event.live_discounted:
+                    event.live_discounted = True
+                    self._live -= 1
+                continue
+            return entry[0]
+        return None

@@ -5,13 +5,20 @@ Python generator that yields scheduling primitives (:class:`Timeout`,
 :class:`WaitEvent`, resource/store requests) and is resumed when the primitive
 completes.  The co-processor model uses the simulator to interleave host
 request arrival, PCI transfers, reconfiguration and function execution.
+
+Every continuation the kernel schedules is the same shape — "resume process P
+with value V" — so the hot path pushes the bound method ``self._step`` with
+its two arguments straight onto the event queue (:meth:`EventQueue.
+schedule_call`): no per-event ``Event`` object, no closure, no f-string
+label.  Pass ``trace_enabled=True`` to get the old named-``Event`` behaviour
+for debugging; schedules are identical either way.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Generator, List, Optional
+from typing import Any, Deque, Generator, List, Optional
 
 from repro.sim.clock import Clock
 from repro.sim.events import Event, EventQueue
@@ -21,16 +28,23 @@ class SimulationError(RuntimeError):
     """Raised when a process misbehaves (e.g. yields an unknown primitive)."""
 
 
-@dataclass
 class Timeout:
-    """Yielded by a process to sleep for ``delay_ns`` nanoseconds."""
+    """Yielded by a process to sleep for ``delay_ns`` nanoseconds.
 
-    delay_ns: float
-    value: Any = None
+    A plain ``__slots__`` class rather than a dataclass: one is allocated per
+    sleep, which makes construction cost part of the kernel's hot path.
+    """
 
-    def __post_init__(self) -> None:
-        if self.delay_ns < 0:
+    __slots__ = ("delay_ns", "value")
+
+    def __init__(self, delay_ns: float, value: Any = None) -> None:
+        if delay_ns < 0:
             raise ValueError("timeout delay must be non-negative")
+        self.delay_ns = delay_ns
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Timeout({self.delay_ns!r}, value={self.value!r})"
 
 
 class WaitEvent:
@@ -99,24 +113,26 @@ class Resource:
         if self._queue:
             process, requested_at = self._queue.popleft()
             self.in_use += 1
-            self.total_wait_ns += self.simulator.clock.now - requested_at
-            self.simulator.queue.schedule(
-                self.simulator.clock.now,
-                name=f"granted:{self.name}",
-                callback=lambda _event, p=process: self.simulator._step(p, None),
-            )
+            simulator = self.simulator
+            self.total_wait_ns += simulator.clock.now - requested_at
+            simulator._schedule_step(simulator.clock.now, process, None, "granted", self.name)
 
     @property
     def queue_length(self) -> int:
         return len(self._queue)
 
 
-@dataclass
 class ResourceRequest:
     """Yieldable acquisition of a :class:`Resource`."""
 
-    resource: Resource
-    requested_at: float = field(default=0.0, init=False)
+    __slots__ = ("resource", "requested_at")
+
+    def __init__(self, resource: Resource) -> None:
+        self.resource = resource
+        self.requested_at = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ResourceRequest({self.resource.name!r})"
 
 
 class Store:
@@ -131,9 +147,16 @@ class Store:
     def put(self, item: Any) -> None:
         """Add an item, waking one blocked getter if present."""
         if self._getters:
+            # Inlined Simulator.trigger for the store's private one-waiter
+            # WaitEvent: succeed it and resume the blocked getter directly.
             waiter = self._getters.popleft()
+            waiter.triggered = True
             waiter.value = item
-            self.simulator.trigger(waiter)
+            simulator = self.simulator
+            now = simulator.clock.now
+            for process in waiter._waiters:
+                simulator._schedule_step(now, process, item, "get", self.name)
+            waiter._waiters.clear()
         else:
             self._items.append(item)
 
@@ -145,11 +168,16 @@ class Store:
         return len(self._items)
 
 
-@dataclass
 class StoreGet:
     """Yieldable retrieval from a :class:`Store`."""
 
-    store: Store
+    __slots__ = ("store",)
+
+    def __init__(self, store: Store) -> None:
+        self.store = store
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StoreGet({self.store.name!r})"
 
 
 class Simulator:
@@ -158,37 +186,74 @@ class Simulator:
     The simulator owns (or shares) a :class:`~repro.sim.clock.Clock`; running
     it advances that clock, so transaction-level components that use the same
     clock observe a consistent timeline.
+
+    ``trace_enabled`` keeps the legacy behaviour of scheduling one named
+    :class:`Event` per continuation (useful when inspecting ``sim.queue``);
+    the default fast path schedules bare callbacks instead.  Both produce the
+    same deterministic schedule.
     """
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    def __init__(self, clock: Optional[Clock] = None, trace_enabled: bool = False) -> None:
         self.clock = clock if clock is not None else Clock()
         self.queue = EventQueue()
         self.processes: List[Process] = []
-        self._event_waiters: Dict[int, List[Process]] = {}
+        self.trace_enabled = trace_enabled
         self.events_dispatched = 0
+        # Hot-path bindings: one bound method shared by every continuation
+        # (binding per schedule would allocate), plus direct references to
+        # the queue's heap and sequence counter.
+        self._step_bound = self._step
+        self._heap = self.queue._heap
+        self._next_seq = self.queue._counter.__next__
+
+    # --------------------------------------------------------- fast schedule
+    def _schedule_step(
+        self,
+        time_ns: float,
+        process: Process,
+        value: Any,
+        kind: str = "resume",
+        detail: Optional[str] = None,
+    ) -> None:
+        """Schedule "resume *process* with *value*" at *time_ns*.
+
+        ``kind``/``detail`` only materialise into an event name when tracing
+        is on; the fast path never builds the label.
+        """
+        if self.trace_enabled:
+            self.queue.schedule(
+                time_ns,
+                name=f"{kind}:{detail if detail is not None else process.name}",
+                callback=lambda _event, p=process, v=value: self._step(p, v),
+            )
+        else:
+            # Inlined EventQueue.schedule_call: continuation times derive from
+            # the clock plus a validated non-negative delay, so the negative-
+            # time check is unnecessary here.
+            heapq.heappush(
+                self._heap,
+                (time_ns, 0, self._next_seq(), None, self._step_bound, process, value),
+            )
+            self.queue._live += 1
 
     # ------------------------------------------------------------- processes
     def spawn(self, generator: Generator, name: Optional[str] = None, delay_ns: float = 0.0) -> Process:
         """Register *generator* as a process starting after *delay_ns*."""
+        if delay_ns < 0:
+            raise ValueError("cannot schedule an event at negative time")
         process = Process(generator, name=name)
         self.processes.append(process)
-        self.queue.schedule(
-            self.clock.now + delay_ns,
-            name=f"start:{process.name}",
-            callback=lambda _event, p=process: self._step(p, None),
-        )
+        self._schedule_step(self.clock.now + delay_ns, process, None, "start")
         return process
 
     def trigger(self, wait_event: WaitEvent, value: Any = None) -> None:
         """Trigger *wait_event* now, scheduling its waiters to resume."""
         if not wait_event.triggered:
             wait_event.succeed(value if value is not None else wait_event.value)
+        now = self.clock.now
+        resumed_value = wait_event.value
         for process in wait_event._waiters:
-            self.queue.schedule(
-                self.clock.now,
-                name=f"resume:{process.name}",
-                callback=lambda _event, p=process, w=wait_event: self._step(p, w.value),
-            )
+            self._schedule_step(now, process, resumed_value, "resume")
         wait_event._waiters.clear()
 
     # ------------------------------------------------------------------- run
@@ -197,26 +262,51 @@ class Simulator:
 
         Returns the simulation time when the run stopped.
         """
+        queue = self.queue
+        heap = queue._heap
+        clock = self.clock
+        heappop = heapq.heappop
+        limit = float("inf") if until_ns is None else until_ns
         dispatched = 0
-        while self.queue:
-            next_time = self.queue.next_time
-            if next_time is None:
-                break
-            if until_ns is not None and next_time > until_ns:
-                self.clock.advance_to(until_ns)
-                return self.clock.now
-            event = self.queue.pop()
-            self.clock.advance_to(event.time_ns)
-            event.fire()
-            self.events_dispatched += 1
-            dispatched += 1
-            if dispatched > max_events:
-                raise SimulationError(
-                    f"dispatched more than {max_events} events; possible livelock"
-                )
-        if until_ns is not None and until_ns > self.clock.now:
-            self.clock.advance_to(until_ns)
-        return self.clock.now
+        try:
+            while heap:
+                entry = heappop(heap)
+                event = entry[3]
+                if event is not None and event.cancelled:
+                    if not event.live_discounted:
+                        event.live_discounted = True
+                        queue._live -= 1
+                    continue
+                time_ns = entry[0]
+                if time_ns > limit:
+                    heapq.heappush(heap, entry)  # beyond the horizon: put back
+                    clock.advance_to(until_ns)
+                    return clock.now
+                queue._live -= 1
+                if event is not None:
+                    event.live_discounted = True  # count settled at dispatch
+                # Inlined Clock.advance_to (events never move time backwards).
+                if time_ns > clock._now:
+                    previous = clock._now
+                    clock._now = time_ns
+                    if clock._observers:
+                        for observer in clock._observers:
+                            observer(previous, time_ns)
+                if event is None:
+                    fn = entry[4]
+                    fn(entry[5], entry[6])
+                else:
+                    event.fire()
+                dispatched += 1
+                if dispatched > max_events:
+                    raise SimulationError(
+                        f"dispatched more than {max_events} events; possible livelock"
+                    )
+        finally:
+            self.events_dispatched += dispatched
+        if until_ns is not None and until_ns > clock.now:
+            clock.advance_to(until_ns)
+        return clock.now
 
     # ------------------------------------------------------------- stepping
     def _step(self, process: Process, send_value: Any) -> None:
@@ -228,30 +318,38 @@ class Simulator:
         except StopIteration as stop:
             process.finished = True
             process.result = stop.value
+            now = self.clock.now
             for waiter in process.waiters:
-                self.queue.schedule(
-                    self.clock.now,
-                    name=f"join:{process.name}",
-                    callback=lambda _event, p=waiter, r=stop.value: self._step(p, r),
-                )
+                self._schedule_step(now, waiter, stop.value, "join", process.name)
             process.waiters.clear()
+            return
+        # Fast path for the dominant yield kind; everything else dispatches
+        # through _handle_yield (which also catches Timeout subclasses).
+        if yielded.__class__ is Timeout and not self.trace_enabled:
+            heapq.heappush(
+                self._heap,
+                (
+                    self.clock._now + yielded.delay_ns,
+                    0,
+                    self._next_seq(),
+                    None,
+                    self._step_bound,
+                    process,
+                    yielded.value,
+                ),
+            )
+            self.queue._live += 1
             return
         self._handle_yield(process, yielded)
 
     def _handle_yield(self, process: Process, yielded: Any) -> None:
         if isinstance(yielded, Timeout):
-            self.queue.schedule(
-                self.clock.now + yielded.delay_ns,
-                name=f"timeout:{process.name}",
-                callback=lambda _event, p=process, v=yielded.value: self._step(p, v),
+            self._schedule_step(
+                self.clock.now + yielded.delay_ns, process, yielded.value, "timeout"
             )
         elif isinstance(yielded, WaitEvent):
             if yielded.triggered:
-                self.queue.schedule(
-                    self.clock.now,
-                    name=f"ready:{process.name}",
-                    callback=lambda _event, p=process, v=yielded.value: self._step(p, v),
-                )
+                self._schedule_step(self.clock.now, process, yielded.value, "ready")
             else:
                 yielded._waiters.append(process)
         elif isinstance(yielded, ResourceRequest):
@@ -260,11 +358,7 @@ class Simulator:
             self._handle_store_get(process, yielded)
         elif isinstance(yielded, Process):
             if yielded.finished:
-                self.queue.schedule(
-                    self.clock.now,
-                    name=f"joined:{process.name}",
-                    callback=lambda _event, p=process, r=yielded.result: self._step(p, r),
-                )
+                self._schedule_step(self.clock.now, process, yielded.result, "joined")
             else:
                 yielded.waiters.append(process)
         else:
@@ -278,11 +372,7 @@ class Simulator:
         resource.total_acquisitions += 1
         if resource.in_use < resource.capacity:
             resource.in_use += 1
-            self.queue.schedule(
-                self.clock.now,
-                name=f"acquire:{resource.name}",
-                callback=lambda _event, p=process: self._step(p, None),
-            )
+            self._schedule_step(self.clock.now, process, None, "acquire", resource.name)
         else:
             resource._queue.append((process, self.clock.now))
 
@@ -290,11 +380,7 @@ class Simulator:
         store = get.store
         if store._items:
             item = store._items.popleft()
-            self.queue.schedule(
-                self.clock.now,
-                name=f"get:{store.name}",
-                callback=lambda _event, p=process, v=item: self._step(p, v),
-            )
+            self._schedule_step(self.clock.now, process, item, "get", store.name)
         else:
             waiter = WaitEvent(name=f"get:{store.name}")
             waiter._waiters.append(process)

@@ -81,3 +81,143 @@ class TestEventQueue:
         queue.schedule(1.0)
         queue.clear()
         assert len(queue) == 0
+
+
+class TestLiveAccounting:
+    """Regression tests: a cancelled event must be counted exactly once.
+
+    The original implementation decremented the live count in ``cancel()``
+    *and* again when ``pop()``/``peek()`` discarded the lazily-removed entry,
+    so ``len(queue)`` drifted low.
+    """
+
+    def test_cancel_then_pop_counts_once(self):
+        queue = EventQueue()
+        victim = queue.schedule(1.0, name="victim")
+        queue.schedule(2.0, name="keeper")
+        queue.schedule(3.0, name="other")
+        assert len(queue) == 3
+        queue.cancel(victim)
+        assert len(queue) == 2
+        assert queue.pop().name == "keeper"  # discards the cancelled entry
+        assert len(queue) == 1
+        assert queue.pop().name == "other"
+        assert len(queue) == 0
+        assert not queue
+
+    def test_cancel_then_peek_counts_once(self):
+        queue = EventQueue()
+        victim = queue.schedule(1.0, name="victim")
+        queue.schedule(2.0, name="keeper")
+        queue.cancel(victim)
+        assert len(queue) == 1
+        assert queue.peek().name == "keeper"  # peek discards lazily too
+        assert len(queue) == 1
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        victim = queue.schedule(1.0)
+        queue.schedule(2.0)
+        queue.cancel(victim)
+        queue.cancel(victim)
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        # Cancelling an event that was already popped (e.g. a timeout that
+        # fired before the caller got around to cancelling it) must not
+        # drive the live count negative or disturb other entries.
+        queue = EventQueue()
+        done = queue.schedule(1.0, name="done")
+        queue.schedule(2.0, name="pending")
+        assert queue.pop() is done
+        queue.cancel(done)
+        assert len(queue) == 1
+        assert queue.pop().name == "pending"
+        assert len(queue) == 0
+
+    def test_cancel_after_peek_discard_counts_once(self):
+        queue = EventQueue()
+        victim = queue.schedule(1.0, name="victim")
+        queue.schedule(2.0, name="keeper")
+        victim.cancel()  # direct cancel, then peek discards the entry
+        assert queue.peek().name == "keeper"
+        queue.cancel(victim)  # late queue-cancel of the discarded event
+        assert len(queue) == 1
+
+    def test_direct_event_cancel_counts_once(self):
+        # Cancelling via Event.cancel() (bypassing the queue) is only
+        # observable at discard time; the count must still end correct.
+        queue = EventQueue()
+        victim = queue.schedule(1.0, name="victim")
+        queue.schedule(2.0, name="keeper")
+        victim.cancel()
+        assert queue.pop().name == "keeper"
+        assert len(queue) == 0
+
+
+class TestFastPathScheduling:
+    def test_schedule_call_dispatches_in_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_call(30.0, lambda a, b: fired.append((a, b)), "c", 3)
+        queue.schedule_call(10.0, lambda a, b: fired.append((a, b)), "a", 1)
+        queue.schedule_call(20.0, lambda a, b: fired.append((a, b)), "b", 2)
+        while queue:
+            entry = queue.pop_entry()
+            entry[4](entry[5], entry[6])
+        assert fired == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_schedule_call_interleaves_with_events(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(10.0, name="event", callback=lambda e: order.append("event"))
+        queue.schedule_call(10.0, lambda a, b: order.append("call"), None, None)
+        first = queue.pop_entry()
+        second = queue.pop_entry()
+        # Same time and priority: insertion order (sequence) breaks the tie.
+        assert first[3] is not None and second[3] is None
+
+    def test_schedule_call_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_call(-1.0, lambda a, b: None)
+
+    def test_pop_wraps_bare_callbacks_as_events(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_call(5.0, lambda a, b: fired.append((a, b)), "x", "y")
+        event = queue.pop()
+        assert event.time_ns == 5.0
+        event.fire()
+        assert fired == [("x", "y")]
+
+    def test_cancel_of_popped_wrapper_does_not_corrupt_len(self):
+        queue = EventQueue()
+        queue.schedule_call(1.0, lambda a, b: None)
+        queue.schedule(2.0, name="keeper")
+        wrapped = queue.pop()
+        queue.cancel(wrapped)  # already popped: must not decrement again
+        assert len(queue) == 1
+        assert queue.pop().name == "keeper"
+
+    def test_len_counts_both_kinds(self):
+        queue = EventQueue()
+        queue.schedule(1.0)
+        queue.schedule_call(2.0, lambda a, b: None)
+        assert len(queue) == 2
+        queue.pop()
+        queue.pop()
+        assert len(queue) == 0
+
+    def test_peek_materialises_bare_entries_for_cancel(self):
+        # peek() on a bare-callback entry must return an Event whose cancel()
+        # affects the queued entry (and repeated peeks return the same one).
+        queue = EventQueue()
+        fired = []
+        queue.schedule_call(1.0, lambda a, b: fired.append(1))
+        queue.schedule(2.0, name="keeper")
+        peeked = queue.peek()
+        assert queue.peek() is peeked
+        queue.cancel(peeked)
+        assert len(queue) == 1
+        assert queue.pop().name == "keeper"
+        assert fired == []

@@ -35,6 +35,11 @@ class TestTimeouts:
         with pytest.raises(ValueError):
             Timeout(-1.0)
 
+    def test_negative_spawn_delay_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            simulator.spawn((x for x in ()), delay_ns=-5.0)
+
     def test_process_result_recorded(self):
         simulator = Simulator()
 
