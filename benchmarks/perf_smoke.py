@@ -1,22 +1,33 @@
-"""Fast-path perf smoke harness: codec throughput and sim-kernel event rate.
+"""Fast-path perf smoke harness: codecs, sim kernel and the device layer.
 
 Runs in a few seconds and writes ``BENCH_codecs.json`` / ``BENCH_kernel.json``
-at the repo root so successive PRs leave a perf trajectory to compare against.
+/ ``BENCH_device.json`` at the repo root so successive PRs leave a perf
+trajectory to compare against.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
+    PYTHONPATH=src python benchmarks/perf_smoke.py --check --tolerance 0.5
+    PYTHONPATH=src python benchmarks/perf_smoke.py --sections device
+
+``--check`` re-runs the harness and compares it against the committed
+``BENCH_*.json`` baselines instead of overwriting them: fingerprint fields
+(simulated times, event counts, byte sizes, output digests) must match
+exactly, and every rate field must reach ``baseline * (1 - tolerance)``.
+A non-zero exit code means a regression — wire it into CI next to the tests.
 
 The workload is deterministic: the codec corpus is CLB-structured /
-sparse / random data seeded with fixed RNG seeds, and the kernel scenario is a
-fixed mix of timeout, resource and store traffic.  Besides throughput the
-kernel section records ``events_dispatched`` and the final simulated time so
-schedule determinism regressions show up as a changed *workload fingerprint*,
+sparse / random data seeded with fixed RNG seeds, the kernel scenario is a
+fixed mix of timeout, resource and store traffic, and the device scenario is
+a fixed request trace over the small function bank.  Besides throughput every
+section records a *workload fingerprint* (event counts, simulated end times,
+output digests) so determinism regressions show up as a changed fingerprint,
 not just a changed rate.
 """
 
 from __future__ import annotations
 
+import argparse
 import gc
 import json
 import pathlib
@@ -190,6 +201,151 @@ def bench_kernel(workers: int = 40, rounds: int = 250, repeats: int = 8) -> dict
     }
 
 
+# --------------------------------------------------------------------- device
+def bench_device(
+    netlist_bits: int = 16,
+    pipeline_rounds: int = 40,
+    replay_requests: int = 160,
+) -> dict:
+    """Device-layer fast path: netlist execution, reconfig pipeline, replay.
+
+    Three sub-sections:
+
+    * ``netlist_exec`` — compiled :class:`NetlistExecutor` throughput on the
+      adder/parity netlists, with the original dict-walking
+      :class:`ReferenceNetlistExecutor` timed alongside so the recorded
+      ``speedup_vs_reference`` is measured, not assumed.
+    * ``reconfig_pipeline`` — every request a miss (evict after execute): the
+      full request → mini-OS plan → ROM fetch → decompress → configuration
+      port → execute pipeline, in wall-clock requests/s.
+    * ``trace_replay`` — a fixed deterministic request trace with natural
+      hits and misses end to end through the card.
+
+    Each sub-section records simulated-time / output fingerprints alongside
+    the rates so behavioural drift fails ``--check`` even on faster code.
+    """
+    import hashlib
+
+    from repro.core.builder import build_coprocessor
+    from repro.core.config import SMALL_CONFIG
+    from repro.fpga.executor import NetlistExecutor, ReferenceNetlistExecutor
+    from repro.fpga.geometry import TEST_GEOMETRY
+    from repro.functions.bank import build_small_bank
+    from repro.functions.netgen import build_adder_netlist, build_parity_netlist
+
+    results: dict = {}
+
+    # ----- netlist execution throughput ------------------------------------
+    adder = build_adder_netlist(TEST_GEOMETRY, netlist_bits)
+    parity = build_parity_netlist(TEST_GEOMETRY, 2 * netlist_bits)
+    rng = random.Random(17)
+    adder_inputs = [
+        bytes(rng.randrange(256) for _ in range((2 * netlist_bits + 7) // 8)) for _ in range(8)
+    ]
+    parity_inputs = [
+        bytes(rng.randrange(256) for _ in range((2 * netlist_bits + 7) // 8)) for _ in range(8)
+    ]
+    netlist_section = {}
+    digest = hashlib.sha256()
+    for name, netlist, inputs in (
+        ("adder", adder, adder_inputs),
+        ("parity", parity, parity_inputs),
+    ):
+        compiled = NetlistExecutor(netlist)
+        reference = ReferenceNetlistExecutor(netlist)
+        for data in inputs:
+            fast = compiled.run(data)
+            assert fast == reference.run(data), name
+            digest.update(fast[0])
+
+        def run_all(executor=compiled, inputs=inputs):
+            for data in inputs:
+                executor.run(data)
+
+        def run_all_reference(executor=reference, inputs=inputs):
+            for data in inputs:
+                executor.run(data)
+
+        fast_rate = _throughput(run_all, len(inputs)) * 1e6
+        reference_rate = _throughput(run_all_reference, len(inputs)) * 1e6
+        netlist_section[name] = {
+            "luts": netlist.lut_count,
+            "runs_per_s": round(fast_rate),
+            "reference_runs_per_s": round(reference_rate),
+            "speedup_vs_reference": round(fast_rate / reference_rate, 2),
+        }
+    netlist_section["output_digest"] = digest.hexdigest()[:16]
+    results["netlist_exec"] = netlist_section
+
+    # ----- reconfigure + execute pipeline ----------------------------------
+    def build_card():
+        copro = build_coprocessor(
+            config=SMALL_CONFIG.with_overrides(seed=7), bank=build_small_bank()
+        )
+        # Warm the per-geometry netlist/executor memos so the timed region
+        # measures the steady-state pipeline, not one-time compilation.
+        copro.bank.prepare(copro.geometry)
+        return copro
+
+    copro = build_card()
+    names = copro.bank.names()
+    payloads = {
+        name: bytes(i % 256 for i in range(copro.bank.by_name(name).spec.input_bytes))
+        for name in names
+    }
+
+    def miss_round():
+        for name in names:
+            copro.execute(name, payloads[name])
+            copro.evict(name)
+
+    miss_round()  # warm caches so the timed region measures the steady state
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for _ in range(pipeline_rounds):
+            miss_round()
+        elapsed = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    requests = pipeline_rounds * len(names)
+    results["reconfig_pipeline"] = {
+        "requests": requests,
+        "functions": len(names),
+        "misses": copro.stats.misses,
+        "requests_per_s": round(requests / elapsed, 1),
+        "final_time_ns": copro.clock.now,
+    }
+
+    # ----- end-to-end trace replay -----------------------------------------
+    copro = build_card()
+    trace_rng = random.Random(23)
+    trace = [names[trace_rng.randrange(len(names))] for _ in range(replay_requests)]
+    digest = hashlib.sha256()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for name in trace:
+            result = copro.execute(name, payloads[name])
+            digest.update(result.output)
+        elapsed = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    results["trace_replay"] = {
+        "requests": replay_requests,
+        "hits": copro.mcu.minios.stats.hits,
+        "misses": copro.mcu.minios.stats.misses,
+        "requests_per_s": round(replay_requests / elapsed, 1),
+        "final_time_ns": copro.clock.now,
+        "output_digest": digest.hexdigest()[:16],
+    }
+    return results
+
+
 def _warm_up(seconds: float = 0.3) -> None:
     """Spin briefly so frequency governors reach steady state before timing."""
     deadline = time.perf_counter() + seconds
@@ -198,14 +354,100 @@ def _warm_up(seconds: float = 0.3) -> None:
         value = (value * 1664525 + 1013904223) % (1 << 64)
 
 
-def main() -> None:
+#: section name -> (bench callable, committed baseline file)
+SECTIONS = {
+    "codecs": (bench_codecs, "BENCH_codecs.json"),
+    "kernel": (bench_kernel, "BENCH_kernel.json"),
+    "device": (bench_device, "BENCH_device.json"),
+}
+
+#: substrings marking higher-is-better rate fields (tolerance-compared).
+_RATE_MARKERS = ("MBps", "per_s", "speedup")
+#: fields that are machine noise and not compared at all.
+_SKIP_FIELDS = ("elapsed_s",)
+
+
+def _compare(baseline, fresh, tolerance: float, path: str, problems: list) -> None:
+    """Recursively diff a fresh run against the committed baseline."""
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            problems.append(f"{path}: section shape changed")
+            return
+        for key, base_value in baseline.items():
+            if key in _SKIP_FIELDS:
+                continue
+            if key not in fresh:
+                problems.append(f"{path}.{key}: missing from fresh run")
+                continue
+            _compare(base_value, fresh[key], tolerance, f"{path}.{key}", problems)
+        return
+    leaf = path.rsplit(".", 1)[-1]
+    if any(marker in leaf for marker in _RATE_MARKERS):
+        floor = baseline * (1.0 - tolerance)
+        if fresh < floor:
+            problems.append(
+                f"{path}: {fresh} below {floor:.3f} (baseline {baseline}, tolerance {tolerance})"
+            )
+    elif fresh != baseline:
+        problems.append(f"{path}: fingerprint changed {baseline!r} -> {fresh!r}")
+
+
+def check_against_baselines(results: dict, tolerance: float) -> list:
+    """Compare fresh section results to the committed BENCH files.
+
+    Returns a list of human-readable problems (empty when everything holds).
+    """
+    problems: list = []
+    for section, fresh in results.items():
+        baseline_path = REPO_ROOT / SECTIONS[section][1]
+        if not baseline_path.exists():
+            problems.append(f"{section}: no committed baseline {baseline_path.name}")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        _compare(baseline, fresh, tolerance, section, problems)
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh run against the committed BENCH_*.json instead of rewriting them",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional rate regression in --check mode (default 0.5)",
+    )
+    parser.add_argument(
+        "--sections",
+        default=",".join(SECTIONS),
+        help=f"comma-separated subset of sections to run (default: {','.join(SECTIONS)})",
+    )
+    args = parser.parse_args(argv)
+    section_names = [name.strip() for name in args.sections.split(",") if name.strip()]
+    unknown = [name for name in section_names if name not in SECTIONS]
+    if unknown:
+        parser.error(f"unknown sections {unknown}; choose from {sorted(SECTIONS)}")
     _warm_up()
-    codecs = bench_codecs()
-    kernel = bench_kernel()
-    (REPO_ROOT / "BENCH_codecs.json").write_text(json.dumps(codecs, indent=2) + "\n")
-    (REPO_ROOT / "BENCH_kernel.json").write_text(json.dumps(kernel, indent=2) + "\n")
-    print(json.dumps({"codecs": codecs, "kernel": kernel}, indent=2))
+    results = {name: SECTIONS[name][0]() for name in section_names}
+    if args.check:
+        problems = check_against_baselines(results, args.tolerance)
+        print(json.dumps(results, indent=2))
+        if problems:
+            print("\nPERF CHECK FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"\nperf check OK ({', '.join(section_names)}; tolerance {args.tolerance})")
+        return 0
+    for name in section_names:
+        (REPO_ROOT / SECTIONS[name][1]).write_text(json.dumps(results[name], indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -27,6 +27,10 @@ class FullReconfigEngine:
         self.config = config
         self.bank = bank
         self.full_reconfigurations = 0
+        # frame count -> penalty; the port timing parameters never change
+        # after construction, so the per-switch penalty is a pure function of
+        # the incoming function's frame footprint.
+        self._penalty_cache: dict = {}
 
     # ------------------------------------------------------------ plumbing
     @property
@@ -40,10 +44,14 @@ class FullReconfigEngine:
         reconfiguration additionally rewrites every other frame (with blank
         configuration data), through the same port.
         """
-        geometry = self.coprocessor.geometry
-        port = self.coprocessor.device.port
-        remaining = geometry.frame_count - function_frames
-        return remaining * port.write_time_ns(geometry.frame_config_bytes)
+        penalty = self._penalty_cache.get(function_frames)
+        if penalty is None:
+            geometry = self.coprocessor.geometry
+            port = self.coprocessor.device.port
+            remaining = geometry.frame_count - function_frames
+            penalty = remaining * port.write_time_ns(geometry.frame_config_bytes)
+            self._penalty_cache[function_frames] = penalty
+        return penalty
 
     # ---------------------------------------------------------------- API
     def execute(self, name: str, data: bytes, future_requests: Optional[Sequence[str]] = None) -> BaselineResult:

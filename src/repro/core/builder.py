@@ -6,13 +6,26 @@ from typing import Optional, Sequence
 
 from repro.core.config import CoprocessorConfig, SMALL_CONFIG
 from repro.core.coprocessor import AgileCoprocessor
-from repro.core.host import HostDriver, build_host_system
+from repro.fpga.bitgen import BitstreamCache, bitstream_cache
 from repro.functions.bank import FunctionBank, build_default_bank, build_small_bank
+from repro.core.host import HostDriver, build_host_system
 
 
 def build_function_bank(small: bool = False) -> FunctionBank:
     """The default 14-function bank, or the small 4-function test bank."""
     return build_small_bank() if small else build_default_bank()
+
+
+def clear_bitstream_cache() -> BitstreamCache:
+    """Drop the process-wide rendered/compressed bitstream memo.
+
+    Only needed when benchmarking cold-path generation costs; results are
+    unaffected either way because cache hits return byte-identical images.
+    Returns the (now empty) cache so callers can inspect its stats.
+    """
+    cache = bitstream_cache()
+    cache.clear()
+    return cache
 
 
 def build_coprocessor(

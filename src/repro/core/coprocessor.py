@@ -137,10 +137,11 @@ class AgileCoprocessor:
         """
         codec = get_codec(self.config.codec_name)
         compressor = WindowedCompressor(codec, self.config.compression_window_bytes)
+        cache = self._bitgen.cache
         records: Dict[str, FunctionRecord] = {}
         scratch_placer = Placer(self.geometry, strategy=PlacementStrategy.CONTIGUOUS_FIRST_FIT)
         for function in self.bank:
-            netlist = function.build_netlist(self.geometry)
+            netlist = function.cached_netlist(self.geometry)
             frames_needed = function.frames_required(self.geometry)
             if netlist is not None:
                 placement = scratch_placer.place(
@@ -170,8 +171,13 @@ class AgileCoprocessor:
                     lut_count=function.spec.lut_estimate,
                 )
             raw = bitstream.to_bytes()
-            image = compressor.compress(raw)
-            stored = image.to_bytes()
+            # Compression is pure in (codec, window, raw bytes): memoise the
+            # stored image so rebuilding a card (every experiment sweep, every
+            # baseline engine) compresses each distinct image once.
+            stored = cache.lookup(
+                ("image", codec.name, self.config.compression_window_bytes, raw),
+                lambda: compressor.compress(raw).to_bytes(),
+            )
             record = self.rom.download(
                 function_id=function.function_id,
                 name=function.name,

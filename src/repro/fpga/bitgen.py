@@ -4,11 +4,18 @@
 bytes (using scratch :class:`~repro.fpga.frame.Frame` objects, so generation
 never touches a live device) and assembles them into the relocatable
 packetised :class:`~repro.bitstream.format.Bitstream`.
+
+Rendering and compression are memoised process-wide in
+:class:`BitstreamCache`: every experiment that rebuilds a card (and every
+baseline engine wrapping one) regenerates the same function images, so the
+bytes are produced once per distinct (netlist, placement, codec) and reused —
+the cached bytes are exactly the ones a fresh render would produce.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bitstream.format import Bitstream, build_bitstream
 from repro.fpga.frame import Frame
@@ -28,15 +35,91 @@ def _stable_hash(text: str) -> int:
     return value
 
 
+class BitstreamCache:
+    """Process-wide memoisation of rendered frames and compressed images.
+
+    Keys capture every input that can influence the produced bytes, so a hit
+    is byte-identical to a fresh computation by construction.  A bounded LRU
+    keeps long parameter sweeps from growing memory without limit.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries <= 0:
+            raise ValueError("the bitstream cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple, compute):
+        """Return the cached value for *key*, computing (and storing) on miss."""
+        entries = self._entries
+        value = entries.get(key)
+        if value is not None:
+            entries.move_to_end(key)
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = compute()
+        entries[key] = value
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+
+#: Shared cache instance used by every generator / card in the process.
+_CACHE = BitstreamCache()
+
+
+def bitstream_cache() -> BitstreamCache:
+    """The process-wide :class:`BitstreamCache` singleton."""
+    return _CACHE
+
+
+def _placement_render_key(
+    geometry: FabricGeometry, netlist: Netlist, placement: Placement
+) -> tuple:
+    """Everything frame rendering reads, flattened into a hashable key.
+
+    Per frame, rendering consumes each placed cell's site within the frame,
+    its truth table and its fanin net names (hashed into switch bytes), in
+    ``cells_in_frame`` iteration order — switch-byte positions can collide, so
+    the order is part of the key.  The frame's absolute address does not
+    influence its payload bytes.
+    """
+    frames = []
+    for address in placement.region:
+        cells = []
+        for cell_name in placement.cells_in_frame(address):
+            site = placement.sites[cell_name]
+            cell = netlist.cells[cell_name]
+            if cell.lut is None:
+                continue
+            cells.append((site.clb_index, site.lut_index, cell.lut.as_integer(), cell.fanin))
+        frames.append(tuple(cells))
+    return (geometry, tuple(frames))
+
+
 class BitstreamGenerator:
     """Turns placements into configuration bit-streams."""
 
-    def __init__(self, geometry: FabricGeometry) -> None:
+    def __init__(self, geometry: FabricGeometry, cache: Optional[BitstreamCache] = None) -> None:
         self.geometry = geometry
+        self.cache = cache if cache is not None else _CACHE
 
     # ----------------------------------------------------------- rendering
     def render_frames(self, netlist: Netlist, placement: Placement) -> List[bytes]:
         """Per-frame configuration payloads, in the placement's region order."""
+        key = ("render",) + _placement_render_key(self.geometry, netlist, placement)
+        return list(self.cache.lookup(key, lambda: tuple(self._render_frames(netlist, placement))))
+
+    def _render_frames(self, netlist: Netlist, placement: Placement) -> List[bytes]:
         frame_payloads: List[bytes] = []
         for slot, address in enumerate(placement.region):
             scratch = Frame(self.geometry, address)
@@ -106,6 +189,21 @@ class BitstreamGenerator:
         """
         if frame_count <= 0:
             raise ValueError("synthetic bit-streams need at least one frame")
+        key = ("synthetic", self.geometry, frame_count, lut_count, seed, density)
+        return list(
+            self.cache.lookup(
+                key,
+                lambda: tuple(self._synthetic_frames(frame_count, lut_count, seed, density)),
+            )
+        )
+
+    def _synthetic_frames(
+        self,
+        frame_count: int,
+        lut_count: int,
+        seed: int,
+        density: Optional[float],
+    ) -> List[bytes]:
         rng = SeededRandom(seed)
         luts_per_frame = self.geometry.luts_per_frame
         remaining_luts = min(lut_count, frame_count * luts_per_frame)

@@ -53,6 +53,21 @@ class SwitchBox:
         return all(byte == 0 for byte in self.state)
 
 
+#: Shared all-zero LUTs keyed by input width.  LookUpTable instances are
+#: immutable (callers replace, never mutate, the objects), so every erased
+#: LUT position can point at the same object instead of allocating one table
+#: per slot on each clear.
+_ZERO_LUTS: dict = {}
+
+
+def _zero_lut(lut_inputs: int) -> LookUpTable:
+    lut = _ZERO_LUTS.get(lut_inputs)
+    if lut is None:
+        lut = LookUpTable.constant(lut_inputs, False)
+        _ZERO_LUTS[lut_inputs] = lut
+    return lut
+
+
 class ConfigurableLogicBlock:
     """A CLB: ``luts_per_clb`` LUT/FF pairs plus an attached switch box."""
 
@@ -60,9 +75,7 @@ class ConfigurableLogicBlock:
         if luts_per_clb <= 0:
             raise ValueError("a CLB needs at least one LUT")
         self.lut_inputs = lut_inputs
-        self.luts: List[LookUpTable] = [
-            LookUpTable.constant(lut_inputs, False) for _ in range(luts_per_clb)
-        ]
+        self.luts: List[LookUpTable] = [_zero_lut(lut_inputs)] * luts_per_clb
         self.ff_init: List[bool] = [False] * luts_per_clb
         self.switch_box = SwitchBox(switch_bytes)
 
@@ -72,7 +85,7 @@ class ConfigurableLogicBlock:
 
     def clear(self) -> None:
         """Return the CLB to its erased (all-zero) configuration."""
-        self.luts = [LookUpTable.constant(self.lut_inputs, False) for _ in self.luts]
+        self.luts = [_zero_lut(self.lut_inputs)] * len(self.luts)
         self.ff_init = [False] * len(self.luts)
         self.switch_box.clear()
 

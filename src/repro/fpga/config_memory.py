@@ -3,11 +3,16 @@
 The configuration memory owns the :class:`~repro.fpga.frame.FrameArray` and
 provides frame-granular write/readback with ownership bookkeeping so partial
 reconfiguration of one region never disturbs another.
+
+Ownership is indexed three ways — a per-frame owner map, a per-owner frame
+set and a free set — so ``owned_frames`` / ``unowned_frames`` /
+``utilisation`` answer from the index instead of scanning every frame on the
+device, and region-granular operations update the index in one batch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.fpga.errors import ConfigurationError, FrameCollisionError
 from repro.fpga.frame import Frame, FrameArray, FrameRegion
@@ -20,55 +25,102 @@ class ConfigurationMemory:
     def __init__(self, geometry: FabricGeometry) -> None:
         self.geometry = geometry
         self.frames = FrameArray(geometry)
+        all_frames = geometry.all_frames()
         # Frame address -> owning function name (None when unowned/free).
+        # The dict carries every address from construction on, so reporting
+        # paths that depend on raster iteration order keep it.
         self._owners: Dict[FrameAddress, Optional[str]] = {
-            address: None for address in geometry.all_frames()
+            address: None for address in all_frames
+        }
+        # Derived indexes kept in lockstep with _owners.
+        self._owner_frames: Dict[str, Set[FrameAddress]] = {}
+        self._free: Set[FrameAddress] = set(all_frames)
+        # all_frames() is raster (flat-index) order, so the position in that
+        # list doubles as a cached sort key for the address.
+        self._flat_order: Dict[FrameAddress, int] = {
+            address: index for index, address in enumerate(all_frames)
         }
         self.total_frame_writes = 0
         self.total_bytes_written = 0
 
     # ------------------------------------------------------------ ownership
+    def _set_owner(self, address: FrameAddress, owner: Optional[str]) -> None:
+        """Point *address* at *owner*, keeping every index in sync."""
+        previous = self._owners[address]
+        if previous == owner:
+            return
+        if previous is None:
+            self._free.discard(address)
+        else:
+            frames = self._owner_frames[previous]
+            frames.discard(address)
+            if not frames:
+                del self._owner_frames[previous]
+        if owner is None:
+            self._free.add(address)
+        else:
+            self._owner_frames.setdefault(owner, set()).add(address)
+        self._owners[address] = owner
+
     def owner_of(self, address: FrameAddress) -> Optional[str]:
         """Function currently owning *address*, or ``None`` when free."""
         self.geometry.validate(address)
         return self._owners[address]
 
     def owned_frames(self, owner: str) -> List[FrameAddress]:
-        return [address for address, name in self._owners.items() if name == owner]
+        return sorted(self._owner_frames.get(owner, ()), key=self._flat_order.__getitem__)
 
     def unowned_frames(self) -> List[FrameAddress]:
-        return [address for address, name in self._owners.items() if name is None]
+        return sorted(self._free, key=self._flat_order.__getitem__)
 
     def claim(self, region: FrameRegion, owner: str) -> None:
         """Mark every frame of *region* as owned by *owner*.
 
         Raises :class:`FrameCollisionError` if any frame belongs to a
-        different function — the controller must release it first.
+        different function — the controller must release it first.  The
+        region is validated in a single pass that fails fast on the first
+        foreign owner, reporting every region frame that owner holds.
         """
-        conflicts: Dict[str, List[FrameAddress]] = {}
+        owners = self._owners
+        conflicting_owner: Optional[str] = None
+        conflicts: List[FrameAddress] = []
         for address in region:
-            current = self.owner_of(address)
-            if current is not None and current != owner:
-                conflicts.setdefault(current, []).append(address)
-        if conflicts:
-            existing_owner, frames = next(iter(conflicts.items()))
-            raise FrameCollisionError(frames, existing_owner)
+            self.geometry.validate(address)
+            current = owners[address]
+            if current is None or current == owner:
+                continue
+            if conflicting_owner is None:
+                conflicting_owner = current
+            if current == conflicting_owner:
+                conflicts.append(address)
+        if conflicting_owner is not None:
+            raise FrameCollisionError(conflicts, conflicting_owner)
         for address in region:
-            self._owners[address] = owner
+            self._set_owner(address, owner)
 
     def release(self, region: FrameRegion, owner: Optional[str] = None) -> None:
         """Release ownership of *region* (optionally checking the owner)."""
+        if owner is not None:
+            for address in region:
+                current = self.owner_of(address)
+                if current is not None and current != owner:
+                    raise ConfigurationError(
+                        f"cannot release {address}: owned by {current!r}, not {owner!r}"
+                    )
         for address in region:
-            current = self.owner_of(address)
-            if owner is not None and current is not None and current != owner:
-                raise ConfigurationError(
-                    f"cannot release {address}: owned by {current!r}, not {owner!r}"
-                )
-            self._owners[address] = None
+            self.geometry.validate(address)
+            self._set_owner(address, None)
 
     def owners(self) -> Dict[str, List[FrameAddress]]:
-        """Map of function name -> frames it currently owns."""
+        """Map of function name -> frames it currently owns.
+
+        Iterates the per-frame map so both the key order (owner of the lowest
+        owned frame first) and the per-owner frame order (raster) match the
+        original full-scan implementation byte for byte in reports.
+        """
         result: Dict[str, List[FrameAddress]] = {}
+        if not self._owner_frames:
+            return result
         for address, owner in self._owners.items():
             if owner is not None:
                 result.setdefault(owner, []).append(address)
@@ -87,24 +139,68 @@ class ConfigurationMemory:
             raise FrameCollisionError([address], current)
         frame.load_config_bytes(data)
         if owner is not None:
-            self._owners[address] = owner
+            self._set_owner(address, owner)
         self.total_frame_writes += 1
         self.total_bytes_written += len(data)
         return frame
 
+    def write_region(
+        self,
+        region: FrameRegion,
+        payloads: Sequence[bytes],
+        owner: Optional[str] = None,
+    ) -> List[Frame]:
+        """Write one payload per frame of *region* in region order.
+
+        Ownership of the whole region is validated up front (so a collision
+        mid-region never leaves a half-written function) and the bookkeeping
+        is updated in one batch.
+        """
+        if len(payloads) != len(region):
+            raise ConfigurationError(
+                f"write_region got {len(payloads)} payloads for {len(region)} frames"
+            )
+        if owner is not None:
+            owners = self._owners
+            for address in region:
+                self.geometry.validate(address)
+                current = owners[address]
+                if current is not None and current != owner:
+                    raise FrameCollisionError([address], current)
+        written: List[Frame] = []
+        for address, data in zip(region, payloads):
+            frame = self.frames[address]
+            frame.load_config_bytes(data)
+            if owner is not None:
+                self._set_owner(address, owner)
+            self.total_frame_writes += 1
+            self.total_bytes_written += len(data)
+            written.append(frame)
+        return written
+
     def clear_frame(self, address: FrameAddress) -> None:
         """Erase one frame and drop its ownership."""
         self.frames[address].clear()
-        self._owners[address] = None
+        self._set_owner(address, None)
 
     def clear_region(self, region: FrameRegion) -> None:
         for address in region:
             self.clear_frame(address)
 
     def clear_device(self) -> None:
-        """Full-device erase (what a *full* reconfiguration starts with)."""
-        for address in self.geometry.all_frames():
-            self.clear_frame(address)
+        """Full-device erase (what a *full* reconfiguration starts with).
+
+        Frames that are still in their erased state are skipped (their clear
+        is a cached no-op), so erasing a mostly-empty device costs only the
+        frames that were actually configured.
+        """
+        for frame in self.frames:
+            frame.clear()
+        for frames in self._owner_frames.values():
+            for address in frames:
+                self._owners[address] = None
+        self._owner_frames.clear()
+        self._free = set(self._owners)
 
     # ------------------------------------------------------------- readback
     def read_frame(self, address: FrameAddress) -> bytes:
@@ -120,7 +216,7 @@ class ConfigurationMemory:
     # ------------------------------------------------------------ statistics
     def utilisation(self) -> float:
         """Fraction of frames currently owned by some function."""
-        owned = sum(1 for owner in self._owners.values() if owner is not None)
+        owned = self.geometry.frame_count - len(self._free)
         return owned / self.geometry.frame_count
 
     def describe(self) -> str:

@@ -33,6 +33,11 @@ class Frame:
         # generator rendering into a scratch frame) must call
         # invalidate_config_cache() before re-serialising.
         self._config_cache: Optional[bytes] = None
+        # False only when the frame is known erased (a clear() nobody wrote
+        # over since); lets clear()/is_clear skip re-erasing such frames.
+        # Starts pessimistic because direct CLB mutation of a fresh frame is
+        # allowed without an invalidate call.
+        self._maybe_dirty = True
 
     @property
     def flat_index(self) -> int:
@@ -43,13 +48,24 @@ class Frame:
         return self.geometry.frame_config_bytes
 
     def clear(self) -> None:
-        """Erase every CLB in the frame (the all-zero configuration)."""
-        for clb in self.clbs:
-            clb.clear()
+        """Erase every CLB in the frame (the all-zero configuration).
+
+        A frame that was never written since construction or its last clear
+        only refreshes its cached zero serialisation — the CLB objects are
+        already in their erased state.
+        """
+        if self._maybe_dirty:
+            for clb in self.clbs:
+                clb.clear()
+            self._maybe_dirty = False
+        # Unconditionally: a stale non-zero serialisation cached before the
+        # clear must not survive into the next readback.
         self._config_cache = bytes(self.config_byte_length)
 
     @property
     def is_clear(self) -> bool:
+        if not self._maybe_dirty:
+            return True
         cached = self._config_cache
         if cached is not None:
             return cached.count(0) == len(cached)
@@ -58,6 +74,7 @@ class Frame:
     def invalidate_config_cache(self) -> None:
         """Drop the cached serialisation after direct CLB mutation."""
         self._config_cache = None
+        self._maybe_dirty = True
 
     def to_config_bytes(self) -> bytes:
         """Serialise the frame in CLB order.
@@ -87,6 +104,7 @@ class Frame:
         # diverge from the real serialisation.  The next to_config_bytes
         # recomputes once and caches the canonical form.
         self._config_cache = None
+        self._maybe_dirty = True
 
     def lut_utilisation(self) -> float:
         """Fraction of LUTs in this frame holding non-trivial logic."""

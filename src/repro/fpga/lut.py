@@ -5,6 +5,11 @@ LUTs are the unit of programmable logic inside a CLB: a ``k``-input LUT stores
 The netlist executor uses these objects to actually evaluate small mapped
 designs, which is how the tests prove the fabric realises real logic rather
 than merely storing bytes.
+
+The truth table is stored as a single integer (bit ``i`` = output for input
+vector ``i``), so evaluation is one shift-and-mask and serialisation is one
+``int.to_bytes`` call.  The list-of-bools view the original model exposed is
+still available through :attr:`truth_table` for callers that want it.
 """
 
 from __future__ import annotations
@@ -15,9 +20,11 @@ from typing import Iterable, List, Sequence
 class LookUpTable:
     """A k-input LUT with an explicit truth table.
 
-    The truth table is stored as a list of ``2**k`` booleans indexed by the
-    integer formed from the inputs (input 0 is the least significant bit).
+    The truth table is indexed by the integer formed from the inputs
+    (input 0 is the least significant bit) and stored packed into one int.
     """
+
+    __slots__ = ("inputs", "size", "_tt")
 
     def __init__(self, inputs: int, truth_table: Sequence[bool] | int = 0) -> None:
         if inputs <= 0:
@@ -27,14 +34,18 @@ class LookUpTable:
         self.inputs = inputs
         self.size = 1 << inputs
         if isinstance(truth_table, int):
-            self._table = [(truth_table >> i) & 1 == 1 for i in range(self.size)]
+            self._tt = truth_table & ((1 << self.size) - 1)
         else:
             table = list(truth_table)
             if len(table) != self.size:
                 raise ValueError(
                     f"truth table for a {inputs}-input LUT must have {self.size} entries"
                 )
-            self._table = [bool(bit) for bit in table]
+            value = 0
+            for index, bit in enumerate(table):
+                if bit:
+                    value |= 1 << index
+            self._tt = value
 
     # -------------------------------------------------------------- queries
     def evaluate(self, input_bits: Sequence[bool]) -> bool:
@@ -47,25 +58,21 @@ class LookUpTable:
         for position, bit in enumerate(input_bits):
             if bit:
                 index |= 1 << position
-        return self._table[index]
+        return (self._tt >> index) & 1 == 1
 
     @property
     def truth_table(self) -> List[bool]:
-        return list(self._table)
+        tt = self._tt
+        return [(tt >> index) & 1 == 1 for index in range(self.size)]
 
     def as_integer(self) -> int:
         """Truth table packed into an integer (bit i = output for input i)."""
-        value = 0
-        for index, bit in enumerate(self._table):
-            if bit:
-                value |= 1 << index
-        return value
+        return self._tt
 
     def to_bytes(self) -> bytes:
         """Truth table packed little-endian, padded to whole bytes."""
-        value = self.as_integer()
         length = max(1, self.size // 8)
-        return value.to_bytes(length, "little")
+        return self._tt.to_bytes(length, "little")
 
     @classmethod
     def from_bytes(cls, inputs: int, data: bytes) -> "LookUpTable":
@@ -74,12 +81,12 @@ class LookUpTable:
 
     def is_constant(self) -> bool:
         """True when the LUT ignores its inputs entirely."""
-        return all(self._table) or not any(self._table)
+        return self._tt == 0 or self._tt == (1 << self.size) - 1
 
     # ------------------------------------------------------------- builders
     @classmethod
     def constant(cls, inputs: int, value: bool) -> "LookUpTable":
-        return cls(inputs, [value] * (1 << inputs))
+        return cls(inputs, (1 << (1 << inputs)) - 1 if value else 0)
 
     @classmethod
     def from_function(cls, inputs: int, function) -> "LookUpTable":
@@ -89,11 +96,12 @@ class LookUpTable:
         >>> lut.evaluate([True, False])
         True
         """
-        table = []
+        value = 0
         for index in range(1 << inputs):
             bits = [(index >> position) & 1 == 1 for position in range(inputs)]
-            table.append(bool(function(bits)))
-        return cls(inputs, table)
+            if function(bits):
+                value |= 1 << index
+        return cls(inputs, value)
 
     @classmethod
     def logic_and(cls, inputs: int) -> "LookUpTable":
@@ -117,10 +125,10 @@ class LookUpTable:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LookUpTable):
             return NotImplemented
-        return self.inputs == other.inputs and self._table == other._table
+        return self.inputs == other.inputs and self._tt == other._tt
 
     def __hash__(self) -> int:
-        return hash((self.inputs, self.as_integer()))
+        return hash((self.inputs, self._tt))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"LookUpTable(inputs={self.inputs}, table=0x{self.as_integer():x})"
+        return f"LookUpTable(inputs={self.inputs}, table=0x{self._tt:x})"

@@ -70,8 +70,21 @@ class FunctionBank:
         return [function for function in self._functions if function.spec.category is category]
 
     def subset(self, names: Sequence[str]) -> "FunctionBank":
-        """A new bank containing only *names* (in the given order)."""
+        """A new bank containing only *names* (in the given order).
+
+        The subset shares the parent's function objects, so per-geometry
+        netlist/executor memoisation carries over.
+        """
         return FunctionBank([self.by_name(name) for name in names])
+
+    def prepare(self, geometry) -> None:
+        """Warm every function's per-geometry caches (netlist, sizing,
+        compiled executor) so the first on-demand request pays no one-time
+        compilation cost.  Purely an optimisation: the cached artefacts are
+        exactly what the lazy path would build."""
+        for function in self._functions:
+            function.frames_required(geometry)
+            function.executor(geometry)
 
     def describe(self) -> str:
         lines = []

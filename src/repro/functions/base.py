@@ -53,10 +53,21 @@ class FunctionSpec:
 
 
 class HardwareFunction(abc.ABC):
-    """One algorithm the co-processor can realise on its fabric."""
+    """One algorithm the co-processor can realise on its fabric.
+
+    Netlist construction, executor compilation and frame sizing are memoised
+    per geometry: the microcontroller asks for all three on *every* on-demand
+    request, and rebuilding (and re-compiling) a netlist per miss dominated
+    the reconfiguration pipeline.  A netlist/executor is deterministic in
+    (function, geometry), and executors reset their flip-flop state on every
+    ``run``, so reuse is observationally identical.
+    """
 
     def __init__(self, spec: FunctionSpec) -> None:
         self.spec = spec
+        self._netlist_cache: dict = {}
+        self._executor_cache: dict = {}
+        self._frames_cache: dict = {}
 
     # ------------------------------------------------------------ behaviour
     @abc.abstractmethod
@@ -77,19 +88,36 @@ class HardwareFunction(abc.ABC):
         """
         return None
 
+    def cached_netlist(self, geometry: FabricGeometry) -> Optional[Netlist]:
+        """Memoised :meth:`build_netlist` (one netlist per geometry)."""
+        if geometry not in self._netlist_cache:
+            self._netlist_cache[geometry] = self.build_netlist(geometry)
+        return self._netlist_cache[geometry]
+
     def executor(self, geometry: FabricGeometry) -> FunctionExecutor:
         """Executor bound to the fabric when this function is loaded."""
-        netlist = self.build_netlist(geometry)
-        if netlist is not None:
-            return NetlistExecutor(netlist)
-        return BehaviouralExecutor(self.spec.name, self.behaviour, self.spec.cycle_model)
+        executor = self._executor_cache.get(geometry)
+        if executor is None:
+            netlist = self.cached_netlist(geometry)
+            if netlist is not None:
+                executor = NetlistExecutor(netlist)
+            else:
+                executor = BehaviouralExecutor(
+                    self.spec.name, self.behaviour, self.spec.cycle_model
+                )
+            self._executor_cache[geometry] = executor
+        return executor
 
     # -------------------------------------------------------------- sizing
     def frames_required(self, geometry: FabricGeometry) -> int:
         """Frame footprint on *geometry* (at least one frame)."""
-        netlist = self.build_netlist(geometry)
-        luts = netlist.lut_count if netlist is not None else self.spec.lut_estimate
-        return max(1, geometry.frames_needed_for_luts(luts))
+        frames = self._frames_cache.get(geometry)
+        if frames is None:
+            netlist = self.cached_netlist(geometry)
+            luts = netlist.lut_count if netlist is not None else self.spec.lut_estimate
+            frames = max(1, geometry.frames_needed_for_luts(luts))
+            self._frames_cache[geometry] = frames
+        return frames
 
     # ------------------------------------------------------------ reporting
     @property

@@ -77,6 +77,22 @@ for _index, _value in enumerate(_SBOX):
 
 _RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
 
+# Byte-level multiplication tables for the MixColumns matrices, derived from
+# the same finite-field routines the reference path uses.  The fast block
+# functions below index these instead of re-running the bitwise GF multiply
+# per state byte per round.
+_MUL2 = [_xtime(value) for value in range(256)]
+_MUL3 = [_MUL2[value] ^ value for value in range(256)]
+_MUL9 = [_gf_multiply(value, 9) for value in range(256)]
+_MUL11 = [_gf_multiply(value, 11) for value in range(256)]
+_MUL13 = [_gf_multiply(value, 13) for value in range(256)]
+_MUL14 = [_gf_multiply(value, 14) for value in range(256)]
+
+# ShiftRows as a gather: output byte i (= row + 4*col, column-major) reads
+# input byte row + 4*((col + row) % 4); the inverse map rotates the other way.
+_SHIFT_MAP = [(i % 4) + 4 * (((i // 4) + (i % 4)) % 4) for i in range(16)]
+_INV_SHIFT_MAP = [(i % 4) + 4 * (((i // 4) - (i % 4)) % 4) for i in range(16)]
+
 
 class Aes128:
     """AES-128 block cipher (encrypt and decrypt a single 16-byte block)."""
@@ -195,6 +211,69 @@ class Aes128:
 
     # ----------------------------------------------------------- block level
     def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one block via the table-driven datapath.
+
+        Bit-identical to :meth:`_encrypt_block_reference` (golden-tested);
+        SubBytes+ShiftRows collapse into one gather through ``_SHIFT_MAP`` and
+        MixColumns reads the precomputed ``_MUL2``/``_MUL3`` tables.
+        """
+        if len(block) != self.BLOCK_BYTES:
+            raise ValueError("AES blocks are 16 bytes")
+        round_keys = self._round_keys
+        sbox = _SBOX
+        mul2 = _MUL2
+        mul3 = _MUL3
+        shift = _SHIFT_MAP
+        key = round_keys[0]
+        state = [block[i] ^ key[i] for i in range(16)]
+        for round_index in range(1, self.ROUNDS):
+            mixed = [sbox[state[shift[i]]] for i in range(16)]
+            key = round_keys[round_index]
+            state = []
+            for column in (0, 4, 8, 12):
+                a0 = mixed[column]
+                a1 = mixed[column + 1]
+                a2 = mixed[column + 2]
+                a3 = mixed[column + 3]
+                state.append(mul2[a0] ^ mul3[a1] ^ a2 ^ a3 ^ key[column])
+                state.append(a0 ^ mul2[a1] ^ mul3[a2] ^ a3 ^ key[column + 1])
+                state.append(a0 ^ a1 ^ mul2[a2] ^ mul3[a3] ^ key[column + 2])
+                state.append(mul3[a0] ^ a1 ^ a2 ^ mul2[a3] ^ key[column + 3])
+        key = round_keys[self.ROUNDS]
+        return bytes(sbox[state[shift[i]]] ^ key[i] for i in range(16))
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Inverse of :meth:`encrypt_block`, same table-driven structure."""
+        if len(block) != self.BLOCK_BYTES:
+            raise ValueError("AES blocks are 16 bytes")
+        round_keys = self._round_keys
+        inv_sbox = _INV_SBOX
+        mul9 = _MUL9
+        mul11 = _MUL11
+        mul13 = _MUL13
+        mul14 = _MUL14
+        inv_shift = _INV_SHIFT_MAP
+        key = round_keys[self.ROUNDS]
+        state = [block[i] ^ key[i] for i in range(16)]
+        for round_index in range(self.ROUNDS - 1, 0, -1):
+            key = round_keys[round_index]
+            subbed = [inv_sbox[state[inv_shift[i]]] ^ key[i] for i in range(16)]
+            state = []
+            for column in (0, 4, 8, 12):
+                a0 = subbed[column]
+                a1 = subbed[column + 1]
+                a2 = subbed[column + 2]
+                a3 = subbed[column + 3]
+                state.append(mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3])
+                state.append(mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3])
+                state.append(mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3])
+                state.append(mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3])
+        key = round_keys[0]
+        return bytes(inv_sbox[state[inv_shift[i]]] ^ key[i] for i in range(16))
+
+    # The original step-by-step block functions stay as the reference the
+    # fast datapath is golden-tested against.
+    def _encrypt_block_reference(self, block: bytes) -> bytes:
         if len(block) != self.BLOCK_BYTES:
             raise ValueError("AES blocks are 16 bytes")
         state = self._add_round_key(list(block), self._round_keys[0])
@@ -208,7 +287,7 @@ class Aes128:
         state = self._add_round_key(state, self._round_keys[self.ROUNDS])
         return bytes(state)
 
-    def decrypt_block(self, block: bytes) -> bytes:
+    def _decrypt_block_reference(self, block: bytes) -> bytes:
         if len(block) != self.BLOCK_BYTES:
             raise ValueError("AES blocks are 16 bytes")
         state = self._add_round_key(list(block), self._round_keys[self.ROUNDS])

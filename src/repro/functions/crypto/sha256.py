@@ -84,6 +84,48 @@ class Sha256:
 
     @classmethod
     def _compress(cls, state: List[int], block: bytes) -> List[int]:
+        """One compression round with the rotations inlined.
+
+        Bit-identical to :meth:`_compress_reference` (golden-tested); the
+        helper-function calls per rotation are replaced with shift/or
+        expressions and the round constants are bound to a local.
+        """
+        mask = 0xFFFFFFFF
+        schedule = list(struct.unpack(">16I", block))
+        append = schedule.append
+        for index in range(16, 64):
+            w15 = schedule[index - 15]
+            w2 = schedule[index - 2]
+            s0 = ((w15 >> 7) | (w15 << 25)) & mask
+            s0 ^= ((w15 >> 18) | (w15 << 14)) & mask
+            s0 ^= w15 >> 3
+            s1 = ((w2 >> 17) | (w2 << 15)) & mask
+            s1 ^= ((w2 >> 19) | (w2 << 13)) & mask
+            s1 ^= w2 >> 10
+            append((schedule[index - 16] + s0 + schedule[index - 7] + s1) & mask)
+        a, b, c, d, e, f, g, h = state
+        for round_constant, word in zip(_K, schedule):
+            s1 = ((e >> 6) | (e << 26)) & mask
+            s1 ^= ((e >> 11) | (e << 21)) & mask
+            s1 ^= ((e >> 25) | (e << 7)) & mask
+            temp1 = (h + s1 + ((e & f) ^ (~e & g)) + round_constant + word) & mask
+            s0 = ((a >> 2) | (a << 30)) & mask
+            s0 ^= ((a >> 13) | (a << 19)) & mask
+            s0 ^= ((a >> 22) | (a << 10)) & mask
+            temp2 = (s0 + ((a & b) ^ (a & c) ^ (b & c))) & mask
+            h = g
+            g = f
+            f = e
+            e = (d + temp1) & mask
+            d = c
+            c = b
+            b = a
+            a = (temp1 + temp2) & mask
+        return [(value + update) & mask for value, update in zip(state, [a, b, c, d, e, f, g, h])]
+
+    @classmethod
+    def _compress_reference(cls, state: List[int], block: bytes) -> List[int]:
+        """The original helper-based compression, kept as the golden oracle."""
         schedule = list(struct.unpack(">16I", block))
         for index in range(16, 64):
             s0 = (

@@ -13,7 +13,10 @@ class FreeFrameList:
     currently loaded functions.
 
     The list is kept sorted by flat frame index so allocation decisions (and
-    the contiguity checks the placer performs) are deterministic.
+    the contiguity checks the placer performs) are deterministic.  The sorted
+    view is cached between mutations, so the mini OS's per-request queries
+    (``as_list`` for placement candidates, ``largest_contiguous_run`` for
+    fragmentation reporting) stop re-sorting the whole set every time.
     """
 
     def __init__(self, geometry: FabricGeometry, initially_free: Optional[Iterable[FrameAddress]] = None) -> None:
@@ -24,6 +27,7 @@ class FreeFrameList:
         for address in initially_free:
             geometry.validate(address)
             self._free.add(address)
+        self._sorted_cache: Optional[List[FrameAddress]] = None
 
     # --------------------------------------------------------------- queries
     def __len__(self) -> int:
@@ -35,9 +39,17 @@ class FreeFrameList:
     def __iter__(self) -> Iterator[FrameAddress]:
         return iter(self.as_list())
 
+    def _sorted(self) -> List[FrameAddress]:
+        cached = self._sorted_cache
+        if cached is None:
+            tiles = self.geometry.tiles_per_column
+            cached = sorted(self._free, key=lambda a: a.flat_index(tiles))
+            self._sorted_cache = cached
+        return cached
+
     def as_list(self) -> List[FrameAddress]:
         """Free frames sorted by flat index."""
-        return sorted(self._free, key=lambda a: a.flat_index(self.geometry.tiles_per_column))
+        return list(self._sorted())
 
     @property
     def free_count(self) -> int:
@@ -49,11 +61,12 @@ class FreeFrameList:
 
     def largest_contiguous_run(self) -> int:
         """Length of the longest run of consecutive free frames."""
-        indices = sorted(a.flat_index(self.geometry.tiles_per_column) for a in self._free)
+        tiles = self.geometry.tiles_per_column
         longest = 0
         current = 0
         previous = None
-        for index in indices:
+        for address in self._sorted():
+            index = address.flat_index(tiles)
             current = current + 1 if previous is not None and index == previous + 1 else 1
             longest = max(longest, current)
             previous = index
@@ -71,16 +84,19 @@ class FreeFrameList:
             raise ValueError(f"frames {missing} are not on the free frame list")
         for address in region:
             self._free.discard(address)
+        self._sorted_cache = None
 
     def release(self, region: FrameRegion) -> None:
         """Return the frames of *region* to the free list."""
         for address in region:
             self.geometry.validate(address)
             self._free.add(address)
+        self._sorted_cache = None
 
     def clear(self) -> None:
         """Mark every frame free (device reset)."""
         self._free = set(self.geometry.all_frames())
+        self._sorted_cache = None
 
     def describe(self) -> str:
         return (

@@ -85,15 +85,20 @@ class PciBus:
 
     # ----------------------------------------------------------- transactions
     def submit(self, transaction: PciTransaction) -> PciTransaction:
-        """Run one transaction to completion, advancing the shared clock."""
-        started = self.clock.now
-        elapsed = self.timing.time_ns(transaction.length)
-        self.clock.advance(elapsed)
+        """Run one transaction to completion, advancing the shared clock.
+
+        Routing happens before any time is charged: a master abort (no device
+        claims the address) must not advance the clock or count as bus busy
+        time, because the data phases never happen.
+        """
         target = self._route(transaction)
         if target is None:
             raise PciBusError(
                 f"master abort: no device claims address 0x{transaction.address:08x}"
             )
+        started = self.clock.now
+        elapsed = self.timing.time_ns(transaction.length)
+        self.clock.advance(elapsed)
         if transaction.is_write:
             target.memory_write(transaction.address, transaction.payload)
         else:

@@ -26,9 +26,19 @@ class SeededRandom:
         self._rng = random.Random(seed)
 
     def fork(self, label: str) -> "SeededRandom":
-        """Create an independent stream derived from this one and *label*."""
-        derived = hash((self.seed, label)) & 0x7FFFFFFF
-        return SeededRandom(derived)
+        """Create an independent stream derived from this one and *label*.
+
+        The derivation uses a stable FNV-1a hash: the built-in ``hash()`` of a
+        string is salted per process, which silently made every forked stream
+        (and therefore the phased/zipf workload traces and the experiments
+        consuming them) different on each run.  A fixed mix keeps forked
+        streams deterministic across processes and machines.
+        """
+        value = 0x811C9DC5
+        for byte in f"{self.seed}\x00{label}".encode("utf-8"):
+            value ^= byte
+            value = (value * 0x01000193) & 0xFFFFFFFF
+        return SeededRandom(value & 0x7FFFFFFF)
 
     # ----------------------------------------------------------- primitives
     def integer(self, low: int, high: int) -> int:

@@ -1,0 +1,98 @@
+"""Byte-identity of the bitstream generation/compression caches.
+
+Cache hits must return exactly the bytes a cold render/compression would
+produce, and the reconfiguration-path decode memo must not perturb simulated
+timing.
+"""
+
+import pytest
+
+from repro.bitstream.codecs import get_codec
+from repro.bitstream.window import WindowedCompressor
+from repro.core.builder import build_coprocessor, clear_bitstream_cache
+from repro.core.config import SMALL_CONFIG
+from repro.fpga.bitgen import BitstreamCache, BitstreamGenerator, bitstream_cache
+from repro.fpga.geometry import TEST_GEOMETRY
+from repro.fpga.placer import Placer
+from repro.functions.bank import build_small_bank
+from repro.functions.netgen import build_adder_netlist
+
+
+class TestRenderCache:
+    def test_cached_render_is_byte_identical_to_cold_render(self):
+        netlist = build_adder_netlist(TEST_GEOMETRY, 8)
+        placer = Placer(TEST_GEOMETRY)
+        placement = placer.place(netlist, TEST_GEOMETRY.all_frames())
+        cold = BitstreamGenerator(TEST_GEOMETRY, cache=BitstreamCache())
+        cold_payloads = cold.render_frames(netlist, placement)
+        warm_cache = BitstreamCache()
+        warm = BitstreamGenerator(TEST_GEOMETRY, cache=warm_cache)
+        first = warm.render_frames(netlist, placement)
+        second = warm.render_frames(netlist, placement)
+        assert first == cold_payloads
+        assert second == cold_payloads
+        assert warm_cache.hits == 1 and warm_cache.misses == 1
+
+    def test_synthetic_frames_cached_and_identical(self):
+        cache = BitstreamCache()
+        generator = BitstreamGenerator(TEST_GEOMETRY, cache=cache)
+        first = generator.synthetic_frames(frame_count=3, lut_count=40, seed=9)
+        second = generator.synthetic_frames(frame_count=3, lut_count=40, seed=9)
+        different_seed = generator.synthetic_frames(frame_count=3, lut_count=40, seed=10)
+        assert first == second
+        assert first != different_seed
+        assert cache.hits == 1
+
+    def test_cache_bounded(self):
+        cache = BitstreamCache(max_entries=2)
+        for index in range(5):
+            cache.lookup(("key", index), lambda: index)
+        assert cache.stats()["entries"] == 2
+
+
+class TestDownloadAndReconfigureCaching:
+    def test_rom_images_identical_with_and_without_cache(self):
+        config = SMALL_CONFIG.with_overrides(seed=3)
+        clear_bitstream_cache()
+        cold = build_coprocessor(config=config, bank=build_small_bank())
+        warm = build_coprocessor(config=config, bank=build_small_bank())
+        for name in cold.bank.names():
+            assert cold.rom.record_for(name) == warm.rom.record_for(name)
+            cold_blob = b"".join(cold.rom.read_bitstream(name))
+            warm_blob = b"".join(warm.rom.read_bitstream(name))
+            assert cold_blob == warm_blob
+        assert bitstream_cache().hits > 0
+
+    def test_compressed_image_cache_matches_fresh_compressor(self):
+        config = SMALL_CONFIG.with_overrides(seed=3)
+        copro = build_coprocessor(config=config, bank=build_small_bank())
+        codec = get_codec(config.codec_name)
+        compressor = WindowedCompressor(codec, config.compression_window_bytes)
+        for name in copro.bank.names():
+            blob = b"".join(copro.rom.read_bitstream(name))
+            record = copro.rom.record_for(name)
+            # Decompress the stored image and recompress from scratch: the
+            # bytes in the ROM must equal a cache-free compression.
+            from repro.bitstream.window import CompressedImage, WindowedDecompressor
+
+            image = CompressedImage.from_bytes(blob)
+            raw = WindowedDecompressor(image).decompress_all()
+            assert compressor.compress(raw).to_bytes() == blob
+            assert record.uncompressed_size == len(raw)
+
+    def test_repeat_reconfiguration_timing_unchanged_by_decode_memo(self):
+        config = SMALL_CONFIG.with_overrides(seed=3)
+        copro = build_coprocessor(config=config, bank=build_small_bank())
+        name = copro.bank.names()[0]
+        copro.preload(name)
+        first = copro.config_module.reports[-1]
+        copro.evict(name)
+        copro.preload(name)  # decode memo hit
+        second = copro.config_module.reports[-1]
+        # Exact equality up to float accumulation: `elapsed = now - started`
+        # rounds differently at different absolute clock positions, with or
+        # without the memo (the seed path had the same jitter).
+        assert second.rom_time_ns == pytest.approx(first.rom_time_ns, rel=1e-12)
+        assert second.decompress_time_ns == pytest.approx(first.decompress_time_ns, rel=1e-12)
+        assert second.config_time_ns == pytest.approx(first.config_time_ns, rel=1e-12)
+        assert second.total_time_ns == pytest.approx(first.total_time_ns, rel=1e-12)

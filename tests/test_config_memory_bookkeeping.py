@@ -1,0 +1,156 @@
+"""Invariants of the region-level configuration-memory bookkeeping.
+
+The O(1) ownership index (per-owner frame sets + free set) must stay
+consistent with the per-frame owner map under any sequence of claims,
+releases, writes and clears — these tests recompute the naive full-scan
+answers and compare.
+"""
+
+import random
+
+import pytest
+
+from repro.fpga.config_memory import ConfigurationMemory
+from repro.fpga.errors import ConfigurationError, FrameCollisionError
+from repro.fpga.frame import FrameRegion
+from repro.fpga.geometry import TEST_GEOMETRY
+
+
+@pytest.fixture
+def memory():
+    return ConfigurationMemory(TEST_GEOMETRY)
+
+
+def _region(indices):
+    return FrameRegion.from_addresses([TEST_GEOMETRY.frame_at(i) for i in indices])
+
+
+def _naive_owned(memory, owner):
+    return [a for a in TEST_GEOMETRY.all_frames() if memory.owner_of(a) == owner]
+
+
+def _naive_unowned(memory):
+    return [a for a in TEST_GEOMETRY.all_frames() if memory.owner_of(a) is None]
+
+
+class TestIndexConsistency:
+    def test_random_operation_sequences_keep_index_consistent(self, memory):
+        rng = random.Random(42)
+        owners = ["aes", "sha1", "fir", "crc"]
+        payload = bytes(TEST_GEOMETRY.frame_config_bytes)
+        frame_count = TEST_GEOMETRY.frame_count
+        for _ in range(300):
+            op = rng.randrange(5)
+            indices = rng.sample(range(frame_count), rng.randrange(1, 6))
+            region = _region(indices)
+            owner = rng.choice(owners)
+            try:
+                if op == 0:
+                    memory.claim(region, owner)
+                elif op == 1:
+                    memory.release(region)
+                elif op == 2:
+                    for address in region:
+                        memory.write_frame(address, payload, owner=owner)
+                elif op == 3:
+                    memory.clear_region(region)
+                else:
+                    memory.write_region(region, [payload] * len(region), owner=owner)
+            except (FrameCollisionError, ConfigurationError):
+                pass
+            # The indexed answers must equal a full scan at every step.
+            for name in owners:
+                assert memory.owned_frames(name) == _naive_owned(memory, name)
+            assert memory.unowned_frames() == _naive_unowned(memory)
+            expected_util = (frame_count - len(_naive_unowned(memory))) / frame_count
+            assert memory.utilisation() == expected_util
+
+    def test_owners_report_matches_scan_order(self, memory):
+        memory.claim(_region([5, 3, 9]), "b")
+        memory.claim(_region([0, 7]), "a")
+        report = memory.owners()
+        # Keys in order of first owned frame (raster order), frames in raster
+        # order — the order the original full-scan implementation produced.
+        assert list(report) == ["a", "b"]
+        assert report["b"] == [TEST_GEOMETRY.frame_at(i) for i in (3, 5, 9)]
+
+    def test_clear_frame_invalidates_cached_readback(self, memory):
+        # Regression: a readback caches the frame's serialisation; clearing
+        # the frame must drop that cache so the next readback is all-zero.
+        address = TEST_GEOMETRY.frame_at(2)
+        payload = bytes([0x41] * TEST_GEOMETRY.frame_config_bytes)
+        memory.write_frame(address, payload, owner="aes")
+        cached = memory.read_frame(address)
+        assert cached.count(0) < len(cached)
+        memory.clear_frame(address)
+        assert memory.read_frame(address) == bytes(TEST_GEOMETRY.frame_config_bytes)
+        assert memory.frames[address].is_clear
+
+    def test_clear_device_resets_everything(self, memory):
+        payload = bytes([1] * TEST_GEOMETRY.frame_config_bytes)
+        memory.write_region(_region([1, 2, 3]), [payload] * 3, owner="aes")
+        memory.claim(_region([10]), "sha1")  # owned but never written
+        memory.clear_device()
+        assert memory.unowned_frames() == TEST_GEOMETRY.all_frames()
+        assert memory.owners() == {}
+        assert memory.utilisation() == 0.0
+        for index in (1, 2, 3):
+            assert memory.frames[TEST_GEOMETRY.frame_at(index)].is_clear
+
+
+class TestClaim:
+    def test_claim_reports_all_frames_of_first_foreign_owner(self, memory):
+        memory.claim(_region([2, 4]), "aes")
+        memory.claim(_region([6]), "sha1")
+        with pytest.raises(FrameCollisionError) as excinfo:
+            memory.claim(_region([0, 4, 6, 2]), "fir")
+        # First foreign owner encountered walking the region is "aes" (frame
+        # 4); every region frame aes holds is reported, later owners are not.
+        assert excinfo.value.owner == "aes"
+        assert set(excinfo.value.frames) == {
+            TEST_GEOMETRY.frame_at(4),
+            TEST_GEOMETRY.frame_at(2),
+        }
+
+    def test_failed_claim_leaves_ownership_untouched(self, memory):
+        memory.claim(_region([4]), "aes")
+        with pytest.raises(FrameCollisionError):
+            memory.claim(_region([0, 1, 4]), "fir")
+        assert memory.owned_frames("fir") == []
+        assert memory.owner_of(TEST_GEOMETRY.frame_at(0)) is None
+        assert memory.owner_of(TEST_GEOMETRY.frame_at(4)) == "aes"
+
+    def test_reclaim_by_same_owner_is_allowed(self, memory):
+        memory.claim(_region([0, 1]), "aes")
+        memory.claim(_region([0, 1, 2]), "aes")
+        assert len(memory.owned_frames("aes")) == 3
+
+
+class TestWriteRegion:
+    def test_write_region_roundtrip_and_ownership(self, memory):
+        payloads = [
+            bytes([index + 1] * TEST_GEOMETRY.frame_config_bytes) for index in range(3)
+        ]
+        region = _region([8, 5, 11])
+        memory.write_region(region, payloads, owner="fir")
+        # Readback preserves region order and canonical serialisation length.
+        readback = memory.read_region(region)
+        assert [len(chunk) for chunk in readback] == [TEST_GEOMETRY.frame_config_bytes] * 3
+        assert memory.owned_frames("fir") == sorted(
+            region, key=lambda a: a.flat_index(TEST_GEOMETRY.tiles_per_column)
+        )
+        assert memory.total_frame_writes == 3
+
+    def test_write_region_validates_before_writing(self, memory):
+        memory.claim(_region([5]), "aes")
+        payload = bytes(TEST_GEOMETRY.frame_config_bytes)
+        with pytest.raises(FrameCollisionError):
+            memory.write_region(_region([4, 5]), [payload, payload], owner="fir")
+        # Frame 4 must not have been written before the collision was found.
+        assert memory.owner_of(TEST_GEOMETRY.frame_at(4)) is None
+        assert memory.total_frame_writes == 0
+
+    def test_write_region_payload_count_mismatch(self, memory):
+        payload = bytes(TEST_GEOMETRY.frame_config_bytes)
+        with pytest.raises(ConfigurationError):
+            memory.write_region(_region([0, 1]), [payload])

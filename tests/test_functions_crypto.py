@@ -53,6 +53,16 @@ class TestAes:
         output = function.behaviour(bytes(16))
         assert output == Aes128(DEFAULT_AES_KEY).encrypt_block(bytes(16))
 
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_table_driven_path_matches_reference(self, key, block):
+        # The fast datapath must be bit-identical to the seed's step-by-step
+        # SubBytes/ShiftRows/MixColumns chain, kept as _*_block_reference.
+        cipher = Aes128(key)
+        ciphertext = cipher.encrypt_block(block)
+        assert ciphertext == cipher._encrypt_block_reference(block)
+        assert cipher.decrypt_block(ciphertext) == cipher._decrypt_block_reference(ciphertext)
+
 
 class TestDes:
     def test_classic_vector(self):
@@ -119,6 +129,13 @@ class TestSha256:
     @settings(max_examples=25, deadline=None)
     def test_matches_hashlib_property(self, message):
         assert Sha256.digest(message) == hashlib.sha256(message).digest()
+
+    @given(st.binary(min_size=64, max_size=64), st.lists(st.integers(0, 0xFFFFFFFF), min_size=8, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_inlined_compress_matches_reference(self, block, state):
+        # The rotation-inlined compression must be bit-identical to the
+        # helper-based seed implementation kept as _compress_reference.
+        assert Sha256._compress(list(state), block) == Sha256._compress_reference(list(state), block)
 
     def test_hardware_function(self):
         function = Sha256Function()

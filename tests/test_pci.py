@@ -95,6 +95,18 @@ class TestBusAndDevice:
         with pytest.raises(PciBusError):
             bus.read(0xDEAD0000, 4)
 
+    def test_master_abort_charges_no_bus_time(self):
+        # Routing happens before the clock advances: a transaction nobody
+        # claims must not consume bus time or count toward statistics.
+        bus = PciBus()
+        before = bus.clock.now
+        with pytest.raises(PciBusError):
+            bus.read(0xDEAD0000, 4)
+        assert bus.clock.now == before
+        assert bus.busy_time_ns == 0.0
+        assert bus.transactions_completed == 0
+        assert bus.bytes_transferred == 0
+
     def test_register_write_and_read_through_bus(self):
         _, bus, device, bridge = _system()
         bridge.write_register("card", 0x10, 0xCAFEBABE)

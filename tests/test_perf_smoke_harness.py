@@ -1,0 +1,90 @@
+"""Tier-1 smoke coverage for the perf harness.
+
+Every benchmark section runs at tiny sizes so the harness itself cannot rot,
+and the ``--check`` comparison logic is exercised against synthetic baselines
+in both the passing and the regressing direction.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import perf_smoke  # noqa: E402
+
+
+class TestSectionsRunTiny:
+    def test_codecs_section(self):
+        results = perf_smoke.bench_codecs()
+        assert set(results) == {"huffman", "golomb", "lz77", "rle", "framediff", "symmetry"}
+        for entry in results.values():
+            assert entry["compress_MBps"] > 0
+            assert entry["decompress_MBps"] > 0
+
+    def test_kernel_section_tiny(self):
+        results = perf_smoke.bench_kernel(workers=4, rounds=10, repeats=2)
+        assert results["events_dispatched"] > 0
+        assert results["events_per_s"] > 0
+
+    def test_device_section_tiny(self):
+        results = perf_smoke.bench_device(
+            netlist_bits=8, pipeline_rounds=2, replay_requests=8
+        )
+        assert set(results) == {"netlist_exec", "reconfig_pipeline", "trace_replay"}
+        for name in ("adder", "parity"):
+            entry = results["netlist_exec"][name]
+            assert entry["runs_per_s"] > 0
+            assert entry["speedup_vs_reference"] > 0
+        assert results["reconfig_pipeline"]["misses"] >= results["reconfig_pipeline"]["requests"]
+        assert results["trace_replay"]["requests"] == 8
+        assert results["trace_replay"]["hits"] + results["trace_replay"]["misses"] == 8
+
+    def test_device_fingerprints_are_deterministic(self):
+        first = perf_smoke.bench_device(netlist_bits=8, pipeline_rounds=1, replay_requests=6)
+        second = perf_smoke.bench_device(netlist_bits=8, pipeline_rounds=1, replay_requests=6)
+        assert (
+            first["netlist_exec"]["output_digest"]
+            == second["netlist_exec"]["output_digest"]
+        )
+        assert first["trace_replay"]["final_time_ns"] == second["trace_replay"]["final_time_ns"]
+        assert first["trace_replay"]["output_digest"] == second["trace_replay"]["output_digest"]
+
+
+class TestCheckMode:
+    def test_rate_regression_is_flagged_and_fingerprint_mismatch_detected(self):
+        baseline = {"section": {"requests_per_s": 100.0, "final_time_ns": 5.0, "elapsed_s": 1.0}}
+        fresh_ok = {"section": {"requests_per_s": 80.0, "final_time_ns": 5.0, "elapsed_s": 9.0}}
+        problems = []
+        perf_smoke._compare(baseline, fresh_ok, 0.5, "root", problems)
+        assert problems == []  # 80 >= 100*(1-0.5); elapsed_s ignored
+
+        fresh_slow = {"section": {"requests_per_s": 40.0, "final_time_ns": 5.0}}
+        problems = []
+        perf_smoke._compare(baseline, fresh_slow, 0.5, "root", problems)
+        assert len(problems) == 1 and "requests_per_s" in problems[0]
+
+        fresh_drifted = {"section": {"requests_per_s": 100.0, "final_time_ns": 6.0}}
+        problems = []
+        perf_smoke._compare(baseline, fresh_drifted, 0.5, "root", problems)
+        assert len(problems) == 1 and "fingerprint" in problems[0]
+
+    def test_missing_key_is_flagged(self):
+        problems = []
+        perf_smoke._compare({"a": {"b_per_s": 1.0}}, {"a": {}}, 0.5, "root", problems)
+        assert problems and "missing" in problems[0]
+
+    def test_committed_baselines_have_expected_shape(self):
+        repo_root = BENCH_DIR.parent
+        for section, (_, filename) in perf_smoke.SECTIONS.items():
+            path = repo_root / filename
+            assert path.exists(), f"{filename} must be committed at the repo root"
+            data = json.loads(path.read_text())
+            assert isinstance(data, dict) and data
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(SystemExit):
+            perf_smoke.main(["--sections", "nonsense"])

@@ -77,6 +77,13 @@ class TestSeededRandom:
         assert sequence_a == sequence_b
         assert sequence_a != sequence_c
 
+    def test_fork_is_stable_across_processes(self):
+        # fork() must not depend on the per-process string-hash salt: pinned
+        # values guard the derived seeds so workload traces (and the
+        # experiments consuming them) reproduce byte-identically run to run.
+        assert SeededRandom(2005).fork("phase:0").seed == 2076257117
+        assert SeededRandom(0).fork("payload:aes128").seed == 906407113
+
     def test_bytes_deterministic_length(self):
         rng = SeededRandom(3)
         data = rng.bytes(32)
