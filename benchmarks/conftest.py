@@ -1,7 +1,7 @@
 """Shared fixtures and helpers for the benchmark harness.
 
 Each ``bench_e<N>_*.py`` module regenerates one experiment from DESIGN.md's
-per-experiment index (E1..E8).  Every experiment produces an
+per-experiment index (E1..E9).  Every experiment produces an
 :class:`~repro.analysis.report.ExperimentReport`; the report is printed to the
 captured stdout and written to ``benchmarks/reports/<id>.txt`` so the numbers
 recorded in EXPERIMENTS.md can be regenerated with

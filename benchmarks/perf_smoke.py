@@ -1,8 +1,8 @@
-"""Fast-path perf smoke harness: codecs, sim kernel and the device layer.
+"""Fast-path perf smoke harness: codecs, sim kernel, device layer and cluster.
 
 Runs in a few seconds and writes ``BENCH_codecs.json`` / ``BENCH_kernel.json``
-/ ``BENCH_device.json`` at the repo root so successive PRs leave a perf
-trajectory to compare against.
+/ ``BENCH_device.json`` / ``BENCH_cluster.json`` at the repo root so
+successive PRs leave a perf trajectory to compare against.
 
 Usage::
 
@@ -346,6 +346,102 @@ def bench_device(
     return results
 
 
+def bench_cluster(
+    cards: int = 3,
+    trace_length: int = 240,
+    tenants: int = 3,
+    mean_interarrival_ns: float = 40_000.0,
+) -> dict:
+    """Fleet layer: multi-card dispatch on one kernel, in wall-clock req/s.
+
+    Builds a small fleet over the small function bank, runs the same
+    deterministic multi-tenant trace through the affinity and round-robin
+    dispatchers, and records the wall-clock request rate of the affinity run
+    plus behavioural fingerprints of both (kernel event counts, final
+    simulated times, completion digests) so dispatch-schedule drift fails
+    ``--check`` even when the code gets faster.
+    """
+    from repro.core.builder import build_fleet
+    from repro.core.config import SMALL_CONFIG
+    from repro.functions.bank import build_small_bank
+    from repro.workloads.multitenant import default_tenant_mix, multi_tenant_trace
+
+    bank = build_small_bank()
+    specs = default_tenant_mix(bank, tenants=tenants, skew=1.2)
+    trace = multi_tenant_trace(
+        bank,
+        specs,
+        length=trace_length,
+        mean_interarrival_ns=mean_interarrival_ns,
+        seed=11,
+    )
+
+    def run_policy(policy: str):
+        fleet = build_fleet(
+            cards=cards,
+            config=SMALL_CONFIG.with_overrides(seed=11),
+            bank=bank,
+            policy=policy,
+            queue_depth=8,
+        )
+        start = time.perf_counter()
+        stats = fleet.run(trace)
+        elapsed = time.perf_counter() - start
+        return fleet, stats, elapsed
+
+    results: dict = {}
+    run_policy("affinity")  # warm the bitstream/netlist caches before timing
+    for policy in ("affinity", "round_robin"):
+        best_rate = 0.0
+        fingerprint = None
+        elapsed_total = 0.0
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            while elapsed_total < _MIN_SECONDS:
+                fleet, stats, elapsed = run_policy(policy)
+                elapsed_total += elapsed
+                run_print = (
+                    fleet.simulator.events_dispatched,
+                    fleet.clock.now,
+                    stats.completed,
+                    stats.rejected,
+                    stats.hits,
+                    stats.schedule_digest()[:16],
+                )
+                if fingerprint is None:
+                    fingerprint = run_print
+                elif run_print != fingerprint:
+                    raise AssertionError(
+                        f"non-deterministic fleet schedule: {run_print} != {fingerprint}"
+                    )
+                best_rate = max(best_rate, stats.completed / elapsed)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        results[policy] = {
+            "cards": cards,
+            "requests": trace_length,
+            "events_dispatched": fingerprint[0],
+            "final_time_ns": fingerprint[1],
+            "completed": fingerprint[2],
+            "rejected": fingerprint[3],
+            "hits": fingerprint[4],
+            "schedule_digest": fingerprint[5],
+            "requests_per_s": round(best_rate, 1),
+        }
+    # Raw miss-count differences are only comparable when both policies
+    # completed the same requests; under rejection asymmetry a rejected
+    # request would masquerade as an "avoided" reconfiguration.
+    results["reconfigs_avoided_by_affinity"] = (
+        (results["round_robin"]["completed"] - results["round_robin"]["hits"])
+        - (results["affinity"]["completed"] - results["affinity"]["hits"])
+        if results["round_robin"]["completed"] == results["affinity"]["completed"]
+        else None
+    )
+    return results
+
+
 def _warm_up(seconds: float = 0.3) -> None:
     """Spin briefly so frequency governors reach steady state before timing."""
     deadline = time.perf_counter() + seconds
@@ -359,6 +455,7 @@ SECTIONS = {
     "codecs": (bench_codecs, "BENCH_codecs.json"),
     "kernel": (bench_kernel, "BENCH_kernel.json"),
     "device": (bench_device, "BENCH_device.json"),
+    "cluster": (bench_cluster, "BENCH_cluster.json"),
 }
 
 #: substrings marking higher-is-better rate fields (tolerance-compared).

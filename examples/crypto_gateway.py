@@ -13,9 +13,12 @@ demand, and the example compares three ways of serving the same packet trace:
 * a static fixed-function accelerator that can only hold a subset.
 
 Run with:  python examples/crypto_gateway.py
+           python examples/crypto_gateway.py --tiny   (short trace, small payloads)
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.baselines import HostOnlyEngine, StaticFixedEngine
 from repro.core.builder import build_coprocessor
@@ -26,14 +29,20 @@ from repro.workloads import ipsec_gateway_trace
 from repro.sim.clock import format_time
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
     bank = build_default_bank()
     # The gateway only needs the crypto/hash subset of the bank.
     gateway_bank = bank.subset(["aes128", "des", "sha1", "sha256", "modexp512"])
     config = CoprocessorConfig(seed=42)
 
-    print("Generating the packet trace (500 packets, rekey every 50) ...")
-    trace = ipsec_gateway_trace(gateway_bank, packets=500, rekey_interval=50, seed=42, payload_blocks=64)
+    packets = 40 if tiny else 500
+    payload_blocks = 4 if tiny else 64
+    rekey_interval = 10 if tiny else 50
+    print(f"Generating the packet trace ({packets} packets, rekey every {rekey_interval}) ...")
+    trace = ipsec_gateway_trace(
+        gateway_bank, packets=packets, rekey_interval=rekey_interval, seed=42,
+        payload_blocks=payload_blocks,
+    )
     print(" ", trace.describe())
     print()
 
@@ -65,4 +74,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv[1:])

@@ -11,11 +11,13 @@ switch is coming it can ask the card to pre-load the estimation kernels so
 the switch itself does not stall on reconfiguration.
 
 Run with:  python examples/dsp_pipeline.py
+           python examples/dsp_pipeline.py --tiny   (fewer sample frames)
 """
 
 from __future__ import annotations
 
 import struct
+import sys
 
 from repro.core.builder import build_coprocessor
 from repro.core.config import CoprocessorConfig
@@ -34,7 +36,7 @@ def sample_frame(index: int, points: int = 256) -> bytes:
     return struct.pack(f"<{points}h", *samples)
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
     bank = build_default_bank().subset(DSP_SET)
     # A fabric sized so the streaming kernels (FIR + FFT) stay resident but the
     # whole DSP mix does not fit at once — waveform switches force swapping.
@@ -43,8 +45,8 @@ def main() -> None:
     print(coprocessor.describe())
     print()
 
-    frames = 60
-    waveform_switch_every = 20
+    frames = 12 if tiny else 60
+    waveform_switch_every = 4 if tiny else 20
     print(f"Processing {frames} sample frames, waveform switch every {waveform_switch_every} frames")
     print(f"{'frame':<6} {'operation':<10} {'hit':<4} latency")
     print("-" * 44)
@@ -79,4 +81,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv[1:])

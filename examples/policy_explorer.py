@@ -8,9 +8,12 @@ working set, so the choices actually matter, and prints the resulting hit
 rates and latencies as tables and ASCII charts.
 
 Run with:  python examples/policy_explorer.py
+           python examples/policy_explorer.py --tiny   (short traces)
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.analysis.figures import ascii_bar_chart
 from repro.analysis.tables import Table
@@ -24,14 +27,14 @@ from repro.workloads import phased_trace, zipf_trace
 WORKING_SET = ["sha1", "crc32", "fir16", "strmatch", "bitonic64", "parity32"]
 
 
-def sweep_policies(bank) -> None:
+def sweep_policies(bank, trace_length: int = 250) -> None:
     print("=== Replacement policy sweep (fabric: 32 frames, working set needs ~63) ===\n")
     table = Table("Hit rate and mean latency per policy", ["policy", "trace", "hit_rate", "mean_latency_us"])
     chart = {}
     for policy in available_policies():
         for trace_name, trace in (
-            ("zipf", zipf_trace(bank, 250, skew=1.2, seed=7)),
-            ("phased", phased_trace(bank, 250, phase_length=40, working_set=3, seed=7)),
+            ("zipf", zipf_trace(bank, trace_length, skew=1.2, seed=7)),
+            ("phased", phased_trace(bank, trace_length, phase_length=40, working_set=3, seed=7)),
         ):
             config = CoprocessorConfig(
                 fabric_columns=8, fabric_rows=32, clb_rows_per_frame=8,
@@ -50,7 +53,7 @@ def sweep_policies(bank) -> None:
     print()
 
 
-def sweep_frame_granularity(bank) -> None:
+def sweep_frame_granularity(bank, trace_length: int = 250) -> None:
     print("=== Frame granularity sweep (same fabric area, different frame heights) ===\n")
     table = Table(
         "Frame height vs frames / hit rate / mean latency",
@@ -61,7 +64,9 @@ def sweep_frame_granularity(bank) -> None:
             fabric_columns=8, fabric_rows=32, clb_rows_per_frame=height, seed=7,
         )
         coprocessor = build_coprocessor(config=config, bank=bank)
-        result = TraceRunner(coprocessor, f"h{height}").run(zipf_trace(bank, 250, skew=1.1, seed=9))
+        result = TraceRunner(coprocessor, f"h{height}").run(
+            zipf_trace(bank, trace_length, skew=1.1, seed=9)
+        )
         table.add_row(height, coprocessor.geometry.frame_count, result.hit_rate, result.mean_latency_ns / 1e3)
     print(table.render())
     print()
@@ -70,11 +75,12 @@ def sweep_frame_granularity(bank) -> None:
     print("per-frame overhead in the bit-stream and the configuration port.")
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
     bank = build_default_bank().subset(WORKING_SET)
-    sweep_policies(bank)
-    sweep_frame_granularity(bank)
+    trace_length = 40 if tiny else 250
+    sweep_policies(bank, trace_length=trace_length)
+    sweep_frame_granularity(bank, trace_length=trace_length)
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv[1:])

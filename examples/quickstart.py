@@ -10,15 +10,20 @@ This is the smallest end-to-end tour of the library:
 3. look at what is resident on the fabric and at the accumulated statistics.
 
 Run with:  python examples/quickstart.py
+           python examples/quickstart.py --tiny   (same tour; the flag is
+           accepted so the example smoke harness can drive every example
+           uniformly — this one is already tiny)
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro import build_default_coprocessor
 from repro.sim.clock import format_time
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
     print("Building the default agile algorithm-on-demand co-processor ...")
     coprocessor = build_default_coprocessor(seed=2005)
     print(coprocessor.describe())
@@ -59,4 +64,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv[1:])

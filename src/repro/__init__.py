@@ -14,6 +14,7 @@ The package models, in pure Python, every block of the paper's architecture:
   (:mod:`repro.functions`),
 * the agile co-processor itself together with the host-side driver
   (:mod:`repro.core`),
+* a multi-card fleet with affinity-aware dispatch (:mod:`repro.cluster`),
 * baselines, workload generators and analysis helpers
   (:mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.analysis`).
 
@@ -33,6 +34,7 @@ from repro.core.host import HostDriver
 from repro.core.builder import (
     build_coprocessor,
     build_default_coprocessor,
+    build_fleet,
     build_function_bank,
 )
 
@@ -45,6 +47,7 @@ __all__ = [
     "HostDriver",
     "build_coprocessor",
     "build_default_coprocessor",
+    "build_fleet",
     "build_function_bank",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """Experiment reports: the artefact each benchmark produces.
 
-An :class:`ExperimentReport` bundles an experiment id (E1..E8), a headline
+An :class:`ExperimentReport` bundles an experiment id (E1..E9), a headline
 observation, any number of tables and figures, and renders them as one text
 block.  The benchmark harness prints these, and EXPERIMENTS.md records the
 headline numbers.

@@ -1,0 +1,38 @@
+"""Fleet-scale simulation: many co-processor cards behind one dispatcher.
+
+This package scales the paper's single-card story up to a cluster: N
+independent cards (each with its own PCI bus, bridge and host driver) share
+one discrete-event kernel, an open-arrival multi-tenant stream feeds a
+dispatcher with pluggable routing policies, and fleet-level statistics report
+what the cluster as a whole delivered.
+
+The headline policy is configuration-affinity dispatch
+(:class:`~repro.cluster.dispatch.ConfigAffinityPolicy`): route each request to
+a card whose mini OS already holds the function's frames, turning the paper's
+per-card reconfiguration-locality result into a fleet-level scheduling win.
+See ``docs/architecture.md`` for the design notes and experiment E9 for the
+measurements.
+"""
+
+from repro.cluster.dispatch import (
+    POLICIES,
+    ConfigAffinityPolicy,
+    DispatchPolicy,
+    LeastOutstandingPolicy,
+    RoundRobinPolicy,
+    build_dispatch_policy,
+)
+from repro.cluster.fleet import Fleet, FleetCard
+from repro.cluster.stats import FleetStatistics
+
+__all__ = [
+    "POLICIES",
+    "ConfigAffinityPolicy",
+    "DispatchPolicy",
+    "Fleet",
+    "FleetCard",
+    "FleetStatistics",
+    "LeastOutstandingPolicy",
+    "RoundRobinPolicy",
+    "build_dispatch_policy",
+]

@@ -1,0 +1,175 @@
+"""Dispatch policies: which card serves the next arriving request.
+
+A policy sees the request and the fleet's cards (queue depths plus each
+card's configuration-residency view) and returns the chosen card, or ``None``
+when every admissible card's bounded queue is full (the request is rejected —
+admission control, not an error).
+
+Three policies ship:
+
+* :class:`RoundRobinPolicy` — rotate through the cards, skipping full queues.
+  Configuration-oblivious: the baseline every fleet experiment compares
+  against.
+* :class:`LeastOutstandingPolicy` — join the shortest queue.  Load-aware but
+  still configuration-oblivious.
+* :class:`ConfigAffinityPolicy` — the headline policy: consult each card's
+  mini-OS residency and route to a card that already holds the function's
+  frames (least-loaded such card), falling back to least-outstanding when the
+  function is resident nowhere.  The fallback is what makes cards *specialise*:
+  the first request for a cold function lands on the least-loaded card, loads
+  there, and every later request for it routes back — so the fleet's combined
+  fabric behaves like one big configuration cache instead of N copies of the
+  same small one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cluster.fleet import FleetCard
+    from repro.workloads.multitenant import FleetRequest
+
+
+class DispatchPolicy:
+    """Interface: pick a card for one request (or ``None`` to reject)."""
+
+    name = "base"
+
+    def choose(
+        self, request: "FleetRequest", cards: Sequence["FleetCard"]
+    ) -> Optional["FleetCard"]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @staticmethod
+    def _pick_admissible(
+        cards: Sequence["FleetCard"], key
+    ) -> Optional["FleetCard"]:
+        """The admissible card minimising *key* (first wins ties).
+
+        Every policy's tie-breaks route through deterministic keys ending in
+        ``card.index``, which keeps N-card schedules reproducible.
+        """
+        best: Optional["FleetCard"] = None
+        best_key = None
+        for card in cards:
+            if not card.has_room:
+                continue
+            card_key = key(card)
+            if best_key is None or card_key < best_key:
+                best, best_key = card, card_key
+        return best
+
+    @classmethod
+    def _least_outstanding(cls, cards: Sequence["FleetCard"]) -> Optional["FleetCard"]:
+        """The admissible card with the fewest outstanding requests."""
+        return cls._pick_admissible(cards, lambda card: (card.outstanding, card.index))
+
+
+class RoundRobinPolicy(DispatchPolicy):
+    """Rotate through the cards regardless of load or residency."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(
+        self, request: "FleetRequest", cards: Sequence["FleetCard"]
+    ) -> Optional["FleetCard"]:
+        count = len(cards)
+        for step in range(count):
+            card = cards[(self._next + step) % count]
+            if card.has_room:
+                self._next = (self._next + step + 1) % count
+                return card
+        return None
+
+
+class LeastOutstandingPolicy(DispatchPolicy):
+    """Join the shortest queue (queued + in service)."""
+
+    name = "least_outstanding"
+
+    def choose(
+        self, request: "FleetRequest", cards: Sequence["FleetCard"]
+    ) -> Optional["FleetCard"]:
+        return self._least_outstanding(cards)
+
+
+class ConfigAffinityPolicy(DispatchPolicy):
+    """Route to a card whose fabric already holds the function's frames.
+
+    ``imbalance_limit`` bounds how much longer a resident card's queue may be
+    than the fleet's shortest before affinity yields to load balancing
+    (``None`` disables the escape hatch — pure affinity).
+    """
+
+    name = "affinity"
+
+    def __init__(self, imbalance_limit: Optional[int] = None) -> None:
+        if imbalance_limit is not None and imbalance_limit < 0:
+            raise ValueError("imbalance limit cannot be negative")
+        self.imbalance_limit = imbalance_limit
+        self.affinity_hits = 0
+        self.affinity_misses = 0
+
+    @classmethod
+    def _spread_fallback(cls, cards: Sequence["FleetCard"]) -> Optional["FleetCard"]:
+        """Where a function resident nowhere should load.
+
+        Least outstanding first, then the card with the *most free frames*,
+        then lowest index: cold functions spread onto idle fabric where they
+        are least likely to evict someone else's resident frames, so the
+        fleet's combined fabric fills evenly instead of two hot cards
+        thrashing while the rest sit empty.
+        """
+        return cls._pick_admissible(
+            cards, lambda card: (card.outstanding, -card.free_frames, card.index)
+        )
+
+    def choose(
+        self, request: "FleetRequest", cards: Sequence["FleetCard"]
+    ) -> Optional["FleetCard"]:
+        resident: List["FleetCard"] = [
+            card
+            for card in cards
+            if card.has_room and card.holds(request.function)
+        ]
+        if resident:
+            choice = min(resident, key=lambda card: (card.outstanding, card.index))
+            if self.imbalance_limit is not None:
+                fallback = self._least_outstanding(cards)
+                if (
+                    fallback is not None
+                    and choice.outstanding - fallback.outstanding > self.imbalance_limit
+                ):
+                    self.affinity_misses += 1
+                    return fallback
+            self.affinity_hits += 1
+            return choice
+        fallback = self._spread_fallback(cards)
+        if fallback is not None:
+            # Only routed requests count toward the hit/miss ratio; a full
+            # fleet (admission rejection) is not an affinity failure.
+            self.affinity_misses += 1
+        return fallback
+
+
+#: name -> zero-argument policy factory.
+POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastOutstandingPolicy.name: LeastOutstandingPolicy,
+    ConfigAffinityPolicy.name: ConfigAffinityPolicy,
+}
+
+
+def build_dispatch_policy(name: str, **kwargs) -> DispatchPolicy:
+    """Instantiate a dispatch policy by name (see :data:`POLICIES`)."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dispatch policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,255 @@
+"""Multi-card fleet simulation on one shared event kernel.
+
+A :class:`Fleet` wires N independent co-processor cards — each with its own
+PCI bus, host bridge and :class:`~repro.core.host.HostDriver` — behind a
+dispatcher, and drives an open-arrival multi-tenant request stream
+(:class:`~repro.workloads.multitenant.FleetTrace`) through them on one shared
+:class:`~repro.sim.kernel.Simulator`.
+
+Two-timescale design
+--------------------
+The per-card model is transaction-level and *synchronous*: a driver call
+advances the card's own clock through every PCI burst, reconfiguration and
+fabric cycle, and returns the precise service time.  The fleet layer treats
+each card as a server in a queueing network: the shared kernel's clock is the
+fleet timeline, arrivals are kernel timeouts, each card's bounded queue is a
+kernel :class:`~repro.sim.kernel.Store`, and a card "being busy" for the
+service time the synchronous model measured is a kernel ``Timeout``.  Card
+clocks therefore act as private service-time oracles (only their *deltas*
+matter), while ordering, queueing and concurrency across cards live entirely
+on the kernel clock — which is what keeps N-card schedules deterministic.
+
+Admission control is at the dispatcher: a card with ``queue_depth``
+outstanding requests is inadmissible, and when every card is full the request
+is rejected and counted, not queued forever (the fleet serves an open system;
+unbounded queues would hide overload instead of surfacing it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.cluster.dispatch import DispatchPolicy, build_dispatch_policy
+from repro.cluster.stats import FleetStatistics
+from repro.core.host import HostDriver
+from repro.sim.kernel import Simulator, Store, Timeout
+from repro.workloads.multitenant import FleetRequest, FleetTrace
+
+
+class FleetCard:
+    """One card in the fleet: a host driver plus its dispatch queue."""
+
+    def __init__(self, index: int, driver: HostDriver, queue: Store, queue_depth: int) -> None:
+        if queue_depth <= 0:
+            raise ValueError("queue depth must be positive")
+        self.index = index
+        self.name = f"card{index}"
+        self.driver = driver
+        self.queue = queue
+        self.queue_depth = queue_depth
+        #: Requests dispatched to this card and not yet completed
+        #: (queued + the one in service).
+        self.outstanding = 0
+        self.served = 0
+        self.busy_ns = 0.0
+
+    # --------------------------------------------------------------- queries
+    @property
+    def has_room(self) -> bool:
+        return self.outstanding < self.queue_depth
+
+    def holds(self, function: str) -> bool:
+        """Does this card's fabric currently hold *function*'s frames?"""
+        return self.driver.card.is_resident(function)
+
+    @property
+    def free_frames(self) -> int:
+        """Unclaimed configuration frames on this card's fabric."""
+        return self.driver.card.free_frames
+
+    def resident_functions(self) -> List[str]:
+        return self.driver.card.resident_functions()
+
+    # --------------------------------------------------------------- service
+    def serve(self, request: FleetRequest) -> tuple:
+        """Run *request* synchronously on the card's private timeline.
+
+        Returns ``(service_ns, hit)``: the card-local time the full
+        PCI + reconfigure + execute path took, and whether the function was
+        already resident.
+        """
+        clock = self.driver.clock
+        before = clock.now
+        result = self.driver.call(request.function, request.payload)
+        service_ns = clock.now - before
+        hit = result.card_result.hit if result.card_result is not None else True
+        self.served += 1
+        self.busy_ns += service_ns
+        return service_ns, hit
+
+
+class Fleet:
+    """N co-processor cards behind a dispatcher on one simulation kernel."""
+
+    def __init__(
+        self,
+        drivers: Sequence[HostDriver],
+        policy: "DispatchPolicy | str" = "affinity",
+        simulator: Optional[Simulator] = None,
+        queue_depth: int = 8,
+    ) -> None:
+        if not drivers:
+            raise ValueError("a fleet needs at least one card")
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.clock = self.simulator.clock
+        self.policy = (
+            build_dispatch_policy(policy) if isinstance(policy, str) else policy
+        )
+        # Policies carry per-fleet mutable state (rotation pointers, hit
+        # counters): sharing one instance across fleets would merge that
+        # state and silently break schedule determinism.
+        if getattr(self.policy, "_fleet_bound", False):
+            raise ValueError(
+                "dispatch policy instances hold per-fleet state; "
+                "build a fresh policy for each fleet"
+            )
+        self.queue_depth = queue_depth
+        self.cards = [
+            FleetCard(
+                index,
+                driver,
+                self.simulator.store(name=f"card{index}-queue"),
+                queue_depth,
+            )
+            for index, driver in enumerate(drivers)
+        ]
+        self.stats = FleetStatistics()
+        self._workers_spawned = False
+        self._arrivals_process = None
+        # Bind last, so a failed construction does not poison the instance.
+        self.policy._fleet_bound = True
+
+    # ---------------------------------------------------------------- wiring
+    def __len__(self) -> int:
+        return len(self.cards)
+
+    def _spawn_workers(self) -> None:
+        if self._workers_spawned:
+            return
+        self._workers_spawned = True
+        for card in self.cards:
+            self.simulator.spawn(self._worker(card), name=f"{card.name}-worker")
+
+    def _worker(self, card: FleetCard):
+        """Drain one card's queue forever (idles when the queue is empty)."""
+        while True:
+            request = yield card.queue.get()
+            started_ns = self.clock.now
+            service_ns, hit = card.serve(request)
+            yield Timeout(service_ns)
+            card.outstanding -= 1
+            self.stats.record_completion(
+                tenant=request.tenant,
+                function=request.function,
+                card_name=card.name,
+                hit=hit,
+                arrival_ns=request.arrival_ns,
+                started_ns=started_ns,
+                completed_ns=self.clock.now,
+            )
+
+    def _dispatch(self, request: FleetRequest) -> None:
+        self.stats.record_arrival(request.tenant, request.arrival_ns)
+        card = self.policy.choose(request, self.cards)
+        if card is None:
+            self.stats.record_rejection(request.tenant, request.function, self.clock.now)
+            return
+        card.outstanding += 1
+        self.stats.record_dispatch(request.tenant, card.name)
+        card.queue.put(request)
+
+    def _arrivals(self, trace: FleetTrace):
+        # The trace's arrival_ns are relative to the start of this run: on a
+        # reused fleet the kernel clock has already advanced, so requests are
+        # re-stamped onto the current timeline (a plain offset keeps the
+        # first run, where the offset is zero, bit-identical).
+        offset = self.clock.now
+        for request in trace:
+            if offset:
+                request = replace(request, arrival_ns=request.arrival_ns + offset)
+            delay = request.arrival_ns - self.clock.now
+            if delay > 0:
+                yield Timeout(delay)
+            self._dispatch(request)
+
+    # ------------------------------------------------------------------- run
+    def run(self, trace: FleetTrace, until_ns: Optional[float] = None) -> FleetStatistics:
+        """Serve *trace* to completion (or *until_ns*); returns the statistics.
+
+        Can be called repeatedly — statistics and residency accumulate, which
+        lets experiments warm a fleet before a measured phase.  Each call
+        plays the trace's arrival timeline starting from the current kernel
+        time.  A run truncated by *until_ns* must be drained first — call
+        ``fleet.simulator.run()`` to play the rest of the pending trace —
+        before a new trace is offered; interleaving a half-delivered trace
+        with a freshly re-stamped one would tangle the two timelines.
+        """
+        if self._arrivals_process is not None and not self._arrivals_process.finished:
+            raise RuntimeError(
+                "the previous trace still has undelivered arrivals "
+                "(truncated by until_ns); drain it before offering a new trace"
+            )
+        self._spawn_workers()
+        self._arrivals_process = self.simulator.spawn(
+            self._arrivals(trace), name="fleet-arrivals"
+        )
+        self.simulator.run(until_ns=until_ns)
+        return self.stats
+
+    # --------------------------------------------------------------- queries
+    def fingerprint(self) -> tuple:
+        """A compact determinism probe for the whole fleet run.
+
+        Identical across processes for the same fleet + trace: kernel event
+        count, final kernel time, completion counters and the completion-stream
+        digest.
+        """
+        return (
+            self.simulator.events_dispatched,
+            self.clock.now,
+            self.stats.completed,
+            self.stats.rejected,
+            self.stats.schedule_digest(),
+        )
+
+    def card_summaries(self) -> List[dict]:
+        """Per-card utilisation/residency snapshot (for reports)."""
+        span = self.stats.makespan_ns
+        rows = []
+        for card in self.cards:
+            copro_stats = card.driver.coprocessor.stats
+            rows.append(
+                {
+                    "card": card.name,
+                    "served": card.served,
+                    "hit_rate": copro_stats.hit_rate,
+                    "utilisation": (card.busy_ns / span) if span > 0 else 0.0,
+                    "resident": ",".join(card.resident_functions()),
+                }
+            )
+        return rows
+
+    def describe(self) -> str:
+        lines = [
+            f"Fleet: {len(self.cards)} cards, policy={self.policy.name}, "
+            f"queue_depth={self.queue_depth}",
+            self.stats.describe(),
+        ]
+        for row in self.card_summaries():
+            lines.append(
+                f"  {row['card']:<7} served={row['served']:<6} "
+                f"hit_rate={row['hit_rate']:.3f} util={row['utilisation']:.2f} "
+                f"resident=[{row['resident']}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Fleet-level statistics: what the whole cluster delivered.
+
+Per-request sojourn times (arrival at the dispatcher to completion on a card,
+queueing included) are kept per tenant in seeded reservoir samples, so
+p50/p95/p99 remain meaningful and byte-reproducible on arbitrarily long
+traces.  A running SHA-256 over the completion stream doubles as a *schedule
+fingerprint*: two runs of the same fleet on the same trace must produce the
+same digest, which is what the multi-card determinism tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.core.stats import ReservoirSampler
+from repro.sim.rand import SeededRandom
+
+
+class FleetStatistics:
+    """Aggregates over one fleet run."""
+
+    def __init__(self, reservoir_capacity: int = 50_000, seed: int = 0x0F1EE7) -> None:
+        self.reservoir_capacity = reservoir_capacity
+        self._rng = SeededRandom(seed)
+        self.arrivals = 0
+        self.dispatched = 0
+        self.rejected = 0
+        self.completed = 0
+        self.hits = 0
+        self.misses = 0
+        self.total_wait_ns = 0.0
+        self.total_service_ns = 0.0
+        self.total_sojourn_ns = 0.0
+        self.first_arrival_ns: Optional[float] = None
+        self.last_completion_ns = 0.0
+        self.per_tenant_arrivals: Dict[str, int] = defaultdict(int)
+        self.per_tenant_completed: Dict[str, int] = defaultdict(int)
+        self.per_tenant_dispatched: Dict[str, int] = defaultdict(int)
+        self.per_tenant_rejected: Dict[str, int] = defaultdict(int)
+        self.per_tenant_hits: Dict[str, int] = defaultdict(int)
+        #: The dispatcher's per-card routing attribution; service-side
+        #: counters (served, busy time) live on FleetCard, the single source
+        #: of truth the card summaries report.
+        self.per_card_dispatched: Dict[str, int] = defaultdict(int)
+        self._per_tenant_sojourn: Dict[str, ReservoirSampler] = {}
+        self._fleet_sojourn = ReservoirSampler(reservoir_capacity, self._rng.fork("fleet"))
+        self._digest = hashlib.sha256()
+
+    # ------------------------------------------------------------- recording
+    def record_arrival(self, tenant: str, arrival_ns: float) -> None:
+        self.arrivals += 1
+        self.per_tenant_arrivals[tenant] += 1
+        if self.first_arrival_ns is None:
+            self.first_arrival_ns = arrival_ns
+
+    def record_rejection(self, tenant: str, function: str, now_ns: float) -> None:
+        self.rejected += 1
+        self.per_tenant_rejected[tenant] += 1
+        self._digest.update(f"reject|{tenant}|{function}|{now_ns!r}".encode())
+
+    def record_dispatch(self, tenant: str, card_name: str) -> None:
+        self.dispatched += 1
+        self.per_tenant_dispatched[tenant] += 1
+        self.per_card_dispatched[card_name] += 1
+
+    def record_completion(
+        self,
+        tenant: str,
+        function: str,
+        card_name: str,
+        hit: bool,
+        arrival_ns: float,
+        started_ns: float,
+        completed_ns: float,
+    ) -> None:
+        self.completed += 1
+        if hit:
+            self.hits += 1
+            self.per_tenant_hits[tenant] += 1
+        else:
+            self.misses += 1
+        wait_ns = started_ns - arrival_ns
+        service_ns = completed_ns - started_ns
+        sojourn_ns = completed_ns - arrival_ns
+        self.total_wait_ns += wait_ns
+        self.total_service_ns += service_ns
+        self.total_sojourn_ns += sojourn_ns
+        self.last_completion_ns = max(self.last_completion_ns, completed_ns)
+        self.per_tenant_completed[tenant] += 1
+        sampler = self._per_tenant_sojourn.get(tenant)
+        if sampler is None:
+            sampler = ReservoirSampler(
+                self.reservoir_capacity, self._rng.fork(f"tenant:{tenant}")
+            )
+            self._per_tenant_sojourn[tenant] = sampler
+        sampler.add(sojourn_ns)
+        self._fleet_sojourn.add(sojourn_ns)
+        self._digest.update(
+            f"done|{tenant}|{function}|{card_name}|{int(hit)}|"
+            f"{arrival_ns!r}|{started_ns!r}|{completed_ns!r}".encode()
+        )
+
+    # -------------------------------------------------------------- derived
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.completed if self.completed else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def reconfigurations(self) -> int:
+        """Completed requests that paid an on-card reconfiguration (misses)."""
+        return self.misses
+
+    @property
+    def mean_wait_ns(self) -> float:
+        return self.total_wait_ns / self.completed if self.completed else 0.0
+
+    @property
+    def mean_sojourn_ns(self) -> float:
+        return self.total_sojourn_ns / self.completed if self.completed else 0.0
+
+    @property
+    def makespan_ns(self) -> float:
+        if self.first_arrival_ns is None:
+            return 0.0
+        return max(0.0, self.last_completion_ns - self.first_arrival_ns)
+
+    @property
+    def throughput_requests_per_s(self) -> float:
+        span = self.makespan_ns
+        if span <= 0:
+            return 0.0
+        return self.completed / (span / 1e9)
+
+    def latency_percentile(self, percentile: float, tenant: Optional[str] = None) -> float:
+        """Sojourn-time percentile fleet-wide, or for one tenant."""
+        if tenant is None:
+            return self._fleet_sojourn.percentile(percentile)
+        sampler = self._per_tenant_sojourn.get(tenant)
+        return sampler.percentile(percentile) if sampler is not None else 0.0
+
+    def tenants(self) -> List[str]:
+        """Every tenant seen — including fully-rejected ones, which are
+        exactly the overload signal the per-tenant reports must not hide."""
+        return sorted(
+            set(self.per_tenant_arrivals)
+            | set(self.per_tenant_completed)
+            | set(self.per_tenant_rejected)
+        )
+
+    def schedule_digest(self) -> str:
+        """Hex digest over the completion/rejection stream (determinism probe)."""
+        return self._digest.hexdigest()
+
+    # ------------------------------------------------------------ reporting
+    def summary(self) -> Dict[str, float]:
+        p50, p95, p99 = self._fleet_sojourn.percentiles((50, 95, 99))
+        return {
+            "arrivals": float(self.arrivals),
+            "dispatched": float(self.dispatched),
+            "completed": float(self.completed),
+            "rejected": float(self.rejected),
+            "hit_rate": self.hit_rate,
+            "reconfigurations": float(self.reconfigurations),
+            "mean_wait_us": self.mean_wait_ns / 1e3,
+            "mean_sojourn_us": self.mean_sojourn_ns / 1e3,
+            "p50_sojourn_us": p50 / 1e3,
+            "p95_sojourn_us": p95 / 1e3,
+            "p99_sojourn_us": p99 / 1e3,
+            "throughput_rps": self.throughput_requests_per_s,
+        }
+
+    def per_tenant_summary(self, tenant: str) -> Dict[str, float]:
+        completed = self.per_tenant_completed.get(tenant, 0)
+        arrivals = self.per_tenant_arrivals.get(tenant, 0)
+        rejected = self.per_tenant_rejected.get(tenant, 0)
+        sampler = self._per_tenant_sojourn.get(tenant)
+        p50, p95, p99 = (
+            sampler.percentiles((50, 95, 99)) if sampler is not None else (0.0, 0.0, 0.0)
+        )
+        return {
+            "arrivals": float(arrivals),
+            "completed": float(completed),
+            "rejected": float(rejected),
+            "rejection_rate": rejected / arrivals if arrivals else 0.0,
+            "hit_rate": self.per_tenant_hits.get(tenant, 0) / completed if completed else 0.0,
+            "p50_sojourn_us": p50 / 1e3,
+            "p95_sojourn_us": p95 / 1e3,
+            "p99_sojourn_us": p99 / 1e3,
+        }
+
+    def describe(self) -> str:
+        p50, p95, p99 = self._fleet_sojourn.percentiles((50, 95, 99))
+        lines = [
+            f"arrivals / completed / rejected : {self.arrivals} / {self.completed} / {self.rejected}",
+            f"fleet hit rate                  : {self.hit_rate:.3f}",
+            f"reconfigurations                : {self.reconfigurations}",
+            f"mean wait / sojourn             : {self.mean_wait_ns / 1e3:.2f} / {self.mean_sojourn_ns / 1e3:.2f} us",
+            f"p50 / p95 / p99 sojourn         : {p50 / 1e3:.2f} / {p95 / 1e3:.2f} / {p99 / 1e3:.2f} us",
+            f"throughput                      : {self.throughput_requests_per_s:.1f} req/s",
+        ]
+        for tenant in self.tenants():
+            row = self.per_tenant_summary(tenant)
+            lines.append(
+                f"  {tenant:<12} completed={int(row['completed']):<6} "
+                f"hit_rate={row['hit_rate']:.3f} p95={row['p95_sojourn_us']:.2f}us"
+            )
+        return "\n".join(lines)

@@ -77,3 +77,34 @@ def build_host_driver(
     """A co-processor mounted on the PCI model with a ready host driver."""
     coprocessor = build_coprocessor(config=config, bank=bank, functions=functions)
     return build_host_system(coprocessor)
+
+
+def build_fleet(
+    cards: int = 4,
+    config: Optional[CoprocessorConfig] = None,
+    bank: Optional[FunctionBank] = None,
+    functions: Optional[Sequence[str]] = None,
+    policy: str = "affinity",
+    queue_depth: int = 8,
+    simulator=None,
+):
+    """Wire *cards* identical co-processor cards into a ready :class:`Fleet`.
+
+    Each card gets its own PCI bus, host bridge and driver (and therefore its
+    own card-local clock); all of them hang off one shared simulation kernel
+    through the returned fleet.  Identically-configured cards share bit-stream
+    generation work through the process-wide cache, so a fleet costs little
+    more to build than a single card.
+
+    ``policy`` is a dispatch policy name (``round_robin``,
+    ``least_outstanding`` or ``affinity``).
+    """
+    from repro.cluster.fleet import Fleet
+
+    if cards <= 0:
+        raise ValueError("a fleet needs at least one card")
+    drivers = [
+        build_host_driver(config=config, bank=bank, functions=functions)
+        for _ in range(cards)
+    ]
+    return Fleet(drivers, policy=policy, simulator=simulator, queue_depth=queue_depth)

@@ -131,3 +131,21 @@ class CoprocessorCard(PciDevice):
     def _handle_reset(self) -> None:
         self.coprocessor.reset()
         self._finish(STATUS_OK)
+
+    # -------------------------------------------------------------- queries
+    def resident_functions(self) -> list:
+        """Configuration residency as the card would report it to the host.
+
+        Models a (zero-cost) sideband status query a fleet dispatcher uses for
+        affinity routing; delegates to the mini OS's replacement table.
+        """
+        return self.coprocessor.mcu.resident_functions()
+
+    def is_resident(self, name: str) -> bool:
+        """Sideband point query: does the fabric currently hold *name*?"""
+        return self.coprocessor.mcu.minios.is_resident(name)
+
+    @property
+    def free_frames(self) -> int:
+        """Sideband capacity query: unclaimed configuration frames."""
+        return self.coprocessor.mcu.minios.free_frames.free_count

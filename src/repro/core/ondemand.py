@@ -72,11 +72,9 @@ class TraceResult:
         return sum(record.latency_ns for record in self.records)
 
     def latency_percentile(self, percentile: float) -> float:
-        if not self.records:
-            return 0.0
-        ordered = sorted(record.latency_ns for record in self.records)
-        index = min(len(ordered) - 1, int(round(percentile / 100 * (len(ordered) - 1))))
-        return ordered[index]
+        from repro.core.stats import percentile_of
+
+        return percentile_of(sorted(record.latency_ns for record in self.records), percentile)
 
     @property
     def throughput_requests_per_s(self) -> float:

@@ -4,9 +4,64 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.mcu.microcontroller import RequestOutcome
+from repro.sim.rand import SeededRandom
+
+
+def percentile_of(ordered: List[float], percentile: float) -> float:
+    """Nearest-rank percentile (0..100) of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    if not 0 <= percentile <= 100:
+        raise ValueError("percentile must be between 0 and 100")
+    index = min(len(ordered) - 1, int(round(percentile / 100 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class ReservoirSampler:
+    """Uniform sample of a value stream with bounded memory (Algorithm R).
+
+    Once *capacity* values have been kept, each later value replaces a random
+    slot with probability ``capacity / seen`` — so the retained sample stays a
+    uniform draw over the whole stream and tail values are as likely to be
+    present as head values.  All randomness comes from a :class:`SeededRandom`,
+    keeping long-trace percentiles reproducible across processes.
+    """
+
+    def __init__(self, capacity: int, rng: Optional[SeededRandom] = None) -> None:
+        if capacity < 0:
+            raise ValueError("reservoir capacity cannot be negative")
+        # capacity 0 is a valid "count but retain nothing" configuration.
+        self.capacity = capacity
+        self.rng = rng if rng is not None else SeededRandom(0)
+        self.values: List[float] = []
+        self.seen = 0
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        if len(self.values) < self.capacity:
+            self.values.append(value)
+            return
+        slot = self.rng.integer(0, self.seen - 1)
+        if slot < self.capacity:
+            self.values[slot] = value
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def percentile(self, percentile: float) -> float:
+        return percentile_of(sorted(self.values), percentile)
+
+    def percentiles(self, wanted: "Sequence[float]") -> List[float]:
+        """Several percentiles off a single sort of the sample."""
+        ordered = sorted(self.values)
+        return [percentile_of(ordered, percentile) for percentile in wanted]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
 
 
 @dataclass
@@ -29,6 +84,27 @@ class CoprocessorStatistics:
     #: Cap on retained per-request latencies (percentiles stay meaningful while
     #: memory stays bounded for very long traces).
     max_recorded_latencies: int = 100_000
+    _latency_sample: ReservoirSampler = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # The fixed seed keeps percentile results identical across runs and
+        # processes; the sampler shares the latencies_ns list so the public
+        # field keeps working, and counts any pre-populated values as seen.
+        if len(self.latencies_ns) > self.max_recorded_latencies:
+            raise ValueError(
+                "pre-populated latencies_ns exceeds max_recorded_latencies; "
+                "entries past the cap could never be displaced by the sampler"
+            )
+        self._latency_sample = ReservoirSampler(
+            self.max_recorded_latencies, SeededRandom(0x51A7)
+        )
+        self._latency_sample.values = self.latencies_ns
+        self._latency_sample.seen = len(self.latencies_ns)
+
+    @property
+    def latencies_seen(self) -> int:
+        """How many latencies were offered to the sample (>= len(latencies_ns))."""
+        return self._latency_sample.seen
 
     # ------------------------------------------------------------- recording
     def record(self, outcome: RequestOutcome, input_bytes: int) -> None:
@@ -52,8 +128,49 @@ class CoprocessorStatistics:
         )
         self.per_function_requests[outcome.function] += 1
         self.per_function_latency_ns[outcome.function] += outcome.total_time_ns
-        if len(self.latencies_ns) < self.max_recorded_latencies:
-            self.latencies_ns.append(outcome.total_time_ns)
+        # Reservoir sampling: below the cap this appends exactly as before;
+        # past the cap each new latency displaces a random retained one, so
+        # the sample stays uniform over the full trace instead of freezing on
+        # the first max_recorded_latencies requests.
+        sample = self._latency_sample
+        if sample.values is not self.latencies_ns:
+            # The public field was rebound (e.g. ``stats.latencies_ns = []``):
+            # re-attach the sampler and restart its stream on the new list,
+            # under the same cap contract the constructor enforces.  Runs
+            # before the cap check below so a rebind-plus-cap change is
+            # judged against the new stream, not the abandoned one.
+            if len(self.latencies_ns) > self.max_recorded_latencies:
+                raise ValueError(
+                    "rebound latencies_ns exceeds max_recorded_latencies; "
+                    "entries past the cap could never be displaced by the sampler"
+                )
+            sample.values = self.latencies_ns
+            sample.seen = len(self.latencies_ns)
+        if sample.capacity != self.max_recorded_latencies:
+            # The cap is a public field callers may adjust after construction
+            # (the pre-reservoir code consulted it on every record call);
+            # shrinking below the current sample size trims the sample.
+            if self.max_recorded_latencies < 0:
+                raise ValueError("reservoir capacity cannot be negative")
+            if (
+                self.max_recorded_latencies > sample.capacity
+                and sample.seen > len(sample.values)
+            ):
+                # Freshly-opened slots would fill with only recent values,
+                # over-representing the tail — the sample is no longer uniform.
+                raise ValueError(
+                    "cannot grow max_recorded_latencies after the reservoir "
+                    "overflowed; reset() the statistics first"
+                )
+            sample.capacity = self.max_recorded_latencies
+            while len(self.latencies_ns) > self.max_recorded_latencies:
+                # Swap-remove a uniformly-chosen survivor: trimming the list
+                # tail instead would keep only the stream's head — the same
+                # bias the grow branch above refuses to introduce.
+                index = sample.rng.integer(0, len(self.latencies_ns) - 1)
+                self.latencies_ns[index] = self.latencies_ns[-1]
+                self.latencies_ns.pop()
+        sample.add(outcome.total_time_ns)
 
     # -------------------------------------------------------------- derived
     @property
@@ -73,14 +190,8 @@ class CoprocessorStatistics:
         return self.total_reconfig_ns / self.misses if self.misses else 0.0
 
     def latency_percentile(self, percentile: float) -> float:
-        """Latency percentile (0..100) over the recorded requests."""
-        if not self.latencies_ns:
-            return 0.0
-        if not 0 <= percentile <= 100:
-            raise ValueError("percentile must be between 0 and 100")
-        ordered = sorted(self.latencies_ns)
-        index = min(len(ordered) - 1, int(round(percentile / 100 * (len(ordered) - 1))))
-        return ordered[index]
+        """Latency percentile (0..100) over the sampled requests."""
+        return percentile_of(sorted(self.latencies_ns), percentile)
 
     def mean_latency_for(self, function: str) -> float:
         count = self.per_function_requests.get(function, 0)

@@ -128,6 +128,15 @@ class Microcontroller:
         outcome.total_time_ns = self.clock.now - started
         return outcome
 
+    def resident_functions(self) -> List[str]:
+        """The mini OS's configuration-residency view (sorted names).
+
+        Exposed so host-side schedulers (the fleet dispatcher's affinity
+        policy) can route requests to a card that already holds the function's
+        frames without reaching into card internals.
+        """
+        return self.minios.resident_functions()
+
     def evict(self, name: str) -> None:
         """Explicitly evict *name* (the EVICT command)."""
         self._charge_cycles(self.command_decode_cycles)

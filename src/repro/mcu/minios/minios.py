@@ -67,6 +67,15 @@ class MiniOs:
     def is_resident(self, name: str) -> bool:
         return name in self.table
 
+    def resident_functions(self) -> List[str]:
+        """Names of the functions currently holding frames, sorted.
+
+        This is the card's *configuration residency* view — what an external
+        dispatcher consults to route requests toward cards that can serve them
+        without a reconfiguration (the fleet's affinity policy).
+        """
+        return sorted(self.table.names())
+
     def touch(self, name: str, now_ns: float) -> None:
         """Record that *name* was just used (updates the replacement table)."""
         self.table.touch(name, now_ns)

@@ -24,10 +24,22 @@ from repro.workloads.apps import (
     hash_server_trace,
     dsp_pipeline_trace,
 )
+from repro.workloads.multitenant import (
+    FleetRequest,
+    FleetTrace,
+    TenantSpec,
+    default_tenant_mix,
+    multi_tenant_trace,
+)
 
 __all__ = [
+    "FleetRequest",
+    "FleetTrace",
     "Request",
+    "TenantSpec",
     "Trace",
+    "default_tenant_mix",
+    "multi_tenant_trace",
     "TraceGenerator",
     "uniform_trace",
     "zipf_trace",

@@ -1,0 +1,307 @@
+"""Multi-tenant open-arrival workloads for fleet-scale simulation.
+
+The single-card trace generators in :mod:`repro.workloads.generators` model a
+closed loop: one host, one request at a time.  The fleet layer
+(:mod:`repro.cluster`) instead serves an *open* arrival stream — requests from
+many tenants arrive on their own schedule whether or not earlier ones have
+finished, queue at the dispatcher and are routed to cards.
+
+A :class:`FleetRequest` therefore carries an **absolute** arrival time and a
+tenant label on top of the usual function/payload pair, and a
+:class:`FleetTrace` keeps the requests sorted by arrival.  Tenants are
+described by :class:`TenantSpec`: each has a traffic weight, its own function
+mix (Zipf-skewed, phased or uniform over its function subset) and its own
+deterministic sub-stream of randomness, so the same seed reproduces the same
+trace byte for byte across processes.
+
+Why per-tenant *rotated* Zipf ranks: when every tenant is hottest on the same
+function there is nothing for an affinity dispatcher to exploit — any card
+works.  Rotating each tenant's popularity ranking (tenant 0 hot on the first
+function, tenant 1 on the second, ...) reproduces the realistic regime where
+the fleet's aggregate working set exceeds one card's fabric but partitions
+cleanly across cards, which is exactly the locality the paper's per-card
+hit-rate story scales up to.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.functions.bank import FunctionBank
+from repro.sim.rand import SeededRandom
+
+
+@dataclass(frozen=True)
+class FleetRequest:
+    """One tenant request arriving at the fleet's front door."""
+
+    tenant: str
+    function: str
+    payload: bytes
+    #: Absolute arrival time on the fleet timeline (nanoseconds).
+    arrival_ns: float
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.payload)
+
+
+class FleetTrace:
+    """An arrival-ordered sequence of :class:`FleetRequest`."""
+
+    def __init__(self, requests: Sequence[FleetRequest], name: str = "fleet-trace") -> None:
+        self.name = name
+        self._requests = sorted(requests, key=lambda request: request.arrival_ns)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[FleetRequest]:
+        return iter(self._requests)
+
+    def __getitem__(self, index: int) -> FleetRequest:
+        return self._requests[index]
+
+    @property
+    def requests(self) -> List[FleetRequest]:
+        return list(self._requests)
+
+    @property
+    def duration_ns(self) -> float:
+        """Arrival time of the last request (0 for an empty trace)."""
+        return self._requests[-1].arrival_ns if self._requests else 0.0
+
+    def tenants(self) -> List[str]:
+        return sorted({request.tenant for request in self._requests})
+
+    def function_counts(self) -> Dict[str, int]:
+        return dict(Counter(request.function for request in self._requests))
+
+    def per_tenant_counts(self) -> Dict[str, int]:
+        return dict(Counter(request.tenant for request in self._requests))
+
+    def mean_arrival_rate_per_s(self) -> float:
+        if len(self._requests) < 2 or self.duration_ns <= 0:
+            return 0.0
+        return (len(self._requests) - 1) / (self.duration_ns / 1e9)
+
+    def describe(self) -> str:
+        tenants = self.per_tenant_counts()
+        mix = ", ".join(f"{tenant}:{count}" for tenant, count in sorted(tenants.items()))
+        return (
+            f"FleetTrace {self.name!r}: {len(self)} requests from {len(tenants)} tenants "
+            f"over {len(self.function_counts())} functions, "
+            f"{self.duration_ns / 1e6:.2f} ms of arrivals ({mix})"
+        )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """How one tenant behaves.
+
+    ``mix`` selects the per-tenant function-popularity model:
+
+    * ``"zipf"``  — Zipf-skewed popularity with exponent ``skew`` over the
+      tenant's function list, rotated by ``rank_offset`` so different tenants
+      are hot on different functions;
+    * ``"phased"`` — the tenant's active working set of ``working_set``
+      functions changes every ``phase_length`` of its own requests;
+    * ``"uniform"`` — every function equally likely.
+    """
+
+    name: str
+    weight: float = 1.0
+    mix: str = "zipf"
+    skew: float = 1.2
+    functions: Optional[Tuple[str, ...]] = None
+    rank_offset: int = 0
+    phase_length: int = 50
+    working_set: int = 3
+    payload_blocks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        if self.functions is not None and not self.functions:
+            raise ValueError("a tenant's function list cannot be empty")
+        if self.mix not in ("zipf", "phased", "uniform"):
+            raise ValueError(f"unknown tenant mix {self.mix!r}")
+        if self.payload_blocks <= 0:
+            raise ValueError("payload_blocks must be positive")
+        if self.mix == "phased" and (self.phase_length <= 0 or self.working_set <= 0):
+            raise ValueError("phase length and working set size must be positive")
+
+
+def default_tenant_mix(
+    bank: FunctionBank,
+    tenants: int = 4,
+    skew: float = 1.2,
+    functions: Optional[Sequence[str]] = None,
+    payload_blocks: int = 1,
+) -> List[TenantSpec]:
+    """*tenants* equally-weighted Zipf tenants, each hot on a different function.
+
+    ``rank_offset`` staggers each tenant's popularity ranking so the fleet's
+    combined hot set spans the function list — the regime where affinity
+    dispatch has something to win.
+    """
+    if tenants <= 0:
+        raise ValueError("need at least one tenant")
+    names = tuple(functions) if functions is not None else tuple(bank.names())
+    return [
+        TenantSpec(
+            name=f"tenant{index}",
+            mix="zipf",
+            skew=skew,
+            functions=names,
+            rank_offset=index % max(1, len(names)),
+            payload_blocks=payload_blocks,
+        )
+        for index in range(tenants)
+    ]
+
+
+class _TenantStream:
+    """Per-tenant deterministic function-choice and payload machinery."""
+
+    def __init__(self, bank: FunctionBank, spec: TenantSpec, rng: SeededRandom) -> None:
+        self.spec = spec
+        names = list(spec.functions) if spec.functions is not None else bank.names()
+        for name in names:
+            bank.by_name(name)  # raises on unknown names
+        # Rotate the popularity ranking so rank_offset decides which function
+        # this tenant hammers hardest.
+        offset = spec.rank_offset % len(names)
+        self.names = names[offset:] + names[:offset]
+        self.rng = rng
+        self.requests_drawn = 0
+        self._phase_index = -1
+        self._phase_active: List[str] = []
+        # Payloads are deterministic per (tenant, function) and reused across
+        # requests; regenerating identical bytes per request would dominate
+        # trace-construction time for long traces.
+        self._payloads: Dict[str, bytes] = {}
+        self._bank = bank
+
+    def next_function(self) -> str:
+        spec = self.spec
+        if spec.mix == "zipf":
+            index = self.rng.zipf_index(len(self.names), spec.skew)
+            name = self.names[index]
+        elif spec.mix == "phased":
+            phase = self.requests_drawn // spec.phase_length
+            if phase != self._phase_index:
+                self._phase_index = phase
+                phase_rng = self.rng.fork(f"phase:{phase}")
+                size = min(spec.working_set, len(self.names))
+                self._phase_active = phase_rng.sample(self.names, size)
+            name = self.rng.choice(self._phase_active)
+        else:  # uniform
+            name = self.rng.choice(self.names)
+        self.requests_drawn += 1
+        return name
+
+    def payload_for(self, function_name: str) -> bytes:
+        payload = self._payloads.get(function_name)
+        if payload is None:
+            spec = self._bank.by_name(function_name).spec
+            payload = self.rng.fork(f"payload:{function_name}").bytes(
+                spec.input_bytes * self.spec.payload_blocks
+            )
+            self._payloads[function_name] = payload
+        return payload
+
+
+def multi_tenant_trace(
+    bank: FunctionBank,
+    tenants: Sequence[TenantSpec],
+    length: int,
+    mean_interarrival_ns: float = 50_000.0,
+    arrival: str = "poisson",
+    burst_length: int = 8,
+    burst_speedup: float = 8.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> FleetTrace:
+    """An open-arrival request stream interleaving several tenants.
+
+    Arrival models:
+
+    * ``"poisson"`` — i.i.d. exponential inter-arrival gaps with mean
+      ``mean_interarrival_ns`` (the classic open-system assumption);
+    * ``"bursty"`` — a two-state modulated process: bursts of geometric
+      length ``burst_length`` arrive ``burst_speedup`` times faster than the
+      mean, separated by compensating idle gaps, so the long-run rate matches
+      the Poisson model while stressing the fleet's queues.
+
+    Each arrival picks a tenant by weight, then the tenant's own stream picks
+    the function and payload.  Everything derives from *seed* through
+    :meth:`SeededRandom.fork`, so traces are byte-reproducible.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    if length < 0:
+        raise ValueError("trace length cannot be negative")
+    if mean_interarrival_ns <= 0:
+        raise ValueError("the mean inter-arrival time must be positive")
+    if arrival not in ("poisson", "bursty"):
+        raise ValueError(f"unknown arrival model {arrival!r}")
+    if arrival == "bursty" and (burst_length <= 0 or burst_speedup <= 1.0):
+        raise ValueError("bursts need burst_length >= 1 and burst_speedup > 1")
+
+    root = SeededRandom(seed)
+    arrival_rng = root.fork("arrivals")
+    tenant_rng = root.fork("tenant-choice")
+    streams = [
+        _TenantStream(bank, spec, root.fork(f"tenant:{spec.name}")) for spec in tenants
+    ]
+    total_weight = sum(spec.weight for spec in tenants)
+    cumulative: List[float] = []
+    running = 0.0
+    for spec in tenants:
+        running += spec.weight / total_weight
+        cumulative.append(running)
+
+    requests: List[FleetRequest] = []
+    now_ns = 0.0
+    burst_remaining = 0
+    for _ in range(length):
+        if arrival == "poisson":
+            now_ns += arrival_rng.exponential(mean_interarrival_ns)
+        else:
+            if burst_remaining == 0:
+                burst_remaining = arrival_rng.geometric(1.0 / burst_length)
+                # The idle gap between bursts restores the long-run rate the
+                # fast in-burst gaps run ahead of: a burst of L requests must
+                # average L * mean in total, and its L-1 in-burst gaps only
+                # consume (L-1) * mean / speedup, so the leading gap carries
+                # the (L-1) * mean * (1 - 1/speedup) remainder.
+                idle_mean = (
+                    mean_interarrival_ns
+                    * (burst_remaining - 1)
+                    * (1.0 - 1.0 / burst_speedup)
+                )
+                now_ns += arrival_rng.exponential(idle_mean + mean_interarrival_ns)
+            else:
+                now_ns += arrival_rng.exponential(mean_interarrival_ns / burst_speedup)
+            burst_remaining -= 1
+        point = tenant_rng.uniform(0.0, 1.0)
+        index = len(cumulative) - 1  # guards the point > last-edge rounding case
+        for position, edge in enumerate(cumulative):
+            if point <= edge:
+                index = position
+                break
+        stream = streams[index]
+        function = stream.next_function()
+        requests.append(
+            FleetRequest(
+                tenant=stream.spec.name,
+                function=function,
+                payload=stream.payload_for(function),
+                arrival_ns=now_ns,
+            )
+        )
+    label = name or f"multitenant-{arrival}-{len(tenants)}t-{length}"
+    return FleetTrace(requests, name=label)

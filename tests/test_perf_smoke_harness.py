@@ -43,6 +43,25 @@ class TestSectionsRunTiny:
         assert results["trace_replay"]["requests"] == 8
         assert results["trace_replay"]["hits"] + results["trace_replay"]["misses"] == 8
 
+    def test_cluster_section_tiny(self):
+        results = perf_smoke.bench_cluster(cards=2, trace_length=24, tenants=2)
+        assert set(results) == {"affinity", "round_robin", "reconfigs_avoided_by_affinity"}
+        for policy in ("affinity", "round_robin"):
+            entry = results[policy]
+            assert entry["completed"] + entry["rejected"] == 24
+            assert entry["requests_per_s"] > 0
+            assert entry["events_dispatched"] > 0
+            assert len(entry["schedule_digest"]) == 16
+        avoided = results["reconfigs_avoided_by_affinity"]
+        assert avoided is None or avoided >= 0
+
+    def test_cluster_fingerprints_are_deterministic(self):
+        first = perf_smoke.bench_cluster(cards=2, trace_length=16, tenants=2)
+        second = perf_smoke.bench_cluster(cards=2, trace_length=16, tenants=2)
+        for policy in ("affinity", "round_robin"):
+            assert first[policy]["schedule_digest"] == second[policy]["schedule_digest"]
+            assert first[policy]["final_time_ns"] == second[policy]["final_time_ns"]
+
     def test_device_fingerprints_are_deterministic(self):
         first = perf_smoke.bench_device(netlist_bits=8, pipeline_rounds=1, replay_requests=6)
         second = perf_smoke.bench_device(netlist_bits=8, pipeline_rounds=1, replay_requests=6)
