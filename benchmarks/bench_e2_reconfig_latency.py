@@ -16,7 +16,6 @@ function (sha1).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import save_report
 from repro.analysis.figures import ascii_bar_chart

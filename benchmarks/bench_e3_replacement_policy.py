@@ -12,7 +12,6 @@ the mini OS).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import save_report
 from repro.analysis.figures import ascii_bar_chart

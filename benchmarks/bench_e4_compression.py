@@ -21,7 +21,7 @@ from benchmarks.conftest import save_report
 from repro.analysis.figures import ascii_bar_chart
 from repro.analysis.report import ExperimentReport
 from repro.analysis.tables import Table
-from repro.bitstream.codecs import available_codecs, get_codec, SymmetryAwareCodec
+from repro.bitstream.codecs import get_codec, SymmetryAwareCodec
 from repro.bitstream.window import WindowedCompressor, WindowedDecompressor
 from repro.core.builder import build_coprocessor
 

@@ -16,7 +16,6 @@ The timed kernel is one warm bulk AES call through the PCI driver.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import save_report
 from repro.analysis.figures import ascii_line_chart

@@ -18,7 +18,6 @@ The timed kernel is the agile engine serving one switching trace.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import save_report
 from repro.analysis.figures import ascii_line_chart
@@ -74,7 +73,6 @@ def test_e6_agility(benchmark, bank):
         ascii_line_chart("Mean latency (us) vs switch interval", series, width=50, height=12)
     )
 
-    advantage_over_full = [row[4] for row in table.rows]
     report.observe(
         "The agile co-processor is never slower than the full-reconfiguration design and the "
         "advantage is largest when algorithms switch frequently (small switch intervals)."

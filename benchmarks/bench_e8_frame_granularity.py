@@ -15,7 +15,6 @@ The timed kernel is a Zipf trace on the finest-granularity configuration.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import save_report
 from repro.analysis.figures import ascii_line_chart

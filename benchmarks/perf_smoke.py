@@ -1,8 +1,8 @@
-"""Fast-path perf smoke harness: codecs, sim kernel, device layer and cluster.
+"""Fast-path perf smoke harness: codecs, kernel, device, cluster and faults.
 
 Runs in a few seconds and writes ``BENCH_codecs.json`` / ``BENCH_kernel.json``
-/ ``BENCH_device.json`` / ``BENCH_cluster.json`` at the repo root so
-successive PRs leave a perf trajectory to compare against.
+/ ``BENCH_device.json`` / ``BENCH_cluster.json`` / ``BENCH_faults.json`` at
+the repo root so successive PRs leave a perf trajectory to compare against.
 
 Usage::
 
@@ -442,6 +442,172 @@ def bench_cluster(
     return results
 
 
+def bench_faults(
+    upsets_per_round: int = 24,
+    scrub_rounds: int = 6,
+    fleet_cards: int = 2,
+    fleet_trace_length: int = 80,
+) -> dict:
+    """Fault layer: scrub-sweep throughput plus a fault-fleet fingerprint.
+
+    Two sub-sections:
+
+    * ``scrub_sweep`` — wall-clock readback-scrub rate (frames checked per
+      second) over a card whose configuration memory is repeatedly corrupted
+      by a seeded injector and repaired from golden images, with the
+      detect/correct counters and final card time as the fingerprint.
+    * ``fault_fleet`` — a small fleet run under a fixed fault environment
+      (targeted upsets + periodic scrubbing + one scheduled card kill):
+      kernel event count, final time, completion/failover/hazard counters and
+      the schedule digest pin the whole fault schedule byte for byte.
+    """
+    from repro.core.builder import build_coprocessor, build_fleet
+    from repro.core.config import SMALL_CONFIG
+    from repro.faults import FaultInjector, FaultSpec
+    from repro.functions.bank import build_small_bank
+    from repro.workloads.multitenant import default_tenant_mix, multi_tenant_trace
+
+    results: dict = {}
+
+    # ----- scrub sweep ------------------------------------------------------
+    def run_sweep():
+        copro = build_coprocessor(config=SMALL_CONFIG.with_overrides(seed=19), bank=build_small_bank())
+        copro.enable_fault_protection()
+        copro.preload("crc32")
+        copro.preload("adder8")
+        injector = FaultInjector(FaultSpec(process="targeted", seed=19))
+        scrubber = copro.scrubber
+        for _ in range(scrub_rounds):
+            for _ in range(upsets_per_round):
+                injector.upset_memory(copro.device.memory)
+            scrubber.scrub_pass()
+        return (
+            scrubber.stats.frames_checked,
+            scrubber.stats.detected,
+            scrubber.stats.corrected,
+            scrubber.stats.uncorrectable,
+            copro.clock.now,
+        )
+
+    run_sweep()  # warm the bitstream/netlist caches
+    fingerprint = None
+    reps = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        while True:
+            run_print = run_sweep()
+            reps += 1
+            if fingerprint is None:
+                fingerprint = run_print
+            elif run_print != fingerprint:
+                raise AssertionError(
+                    f"non-deterministic scrub sweep: {run_print} != {fingerprint}"
+                )
+            elapsed = time.perf_counter() - start
+            if elapsed >= _MIN_SECONDS:
+                break
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    results["scrub_sweep"] = {
+        "scrub_rounds": scrub_rounds,
+        "upsets_per_round": upsets_per_round,
+        "frames_checked": fingerprint[0],
+        "detected": fingerprint[1],
+        "corrected": fingerprint[2],
+        "uncorrectable": fingerprint[3],
+        "final_time_ns": fingerprint[4],
+        "frames_per_s": round(fingerprint[0] * reps / elapsed, 1),
+    }
+
+    # ----- fault-fleet schedule fingerprint ---------------------------------
+    bank = build_small_bank()
+    trace = multi_tenant_trace(
+        bank,
+        default_tenant_mix(bank, tenants=2, skew=1.2),
+        length=fleet_trace_length,
+        mean_interarrival_ns=4_000.0,
+        seed=19,
+    )
+    # Kill mid-trace whatever the trace size, so the tiny tier-1 variant
+    # exercises the same failure machinery as the committed baseline.
+    spec = FaultSpec(
+        process="targeted",
+        upset_rate_per_s=3_000.0,
+        card_kill_times_ns=((trace.duration_ns * 0.45, 0),),
+        seed=19,
+    )
+
+    def run_fleet():
+        fleet = build_fleet(
+            cards=fleet_cards,
+            config=SMALL_CONFIG.with_overrides(seed=19),
+            bank=bank,
+            policy="affinity",
+            queue_depth=8,
+            fault_tolerance=True,
+            scrub_period_ns=60_000.0,
+            scrub_frames_per_order=32,
+            fault_spec=spec,
+        )
+        start = time.perf_counter()
+        stats = fleet.run(trace)
+        elapsed = time.perf_counter() - start
+        summary = fleet.fault_summary()
+        return fleet, stats, summary, elapsed
+
+    run_fleet()  # warm-up
+    fingerprint = None
+    best_rate = 0.0
+    elapsed_total = 0.0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while elapsed_total < _MIN_SECONDS:
+            fleet, stats, summary, elapsed = run_fleet()
+            elapsed_total += elapsed
+            run_print = (
+                fleet.simulator.events_dispatched,
+                fleet.clock.now,
+                stats.completed,
+                stats.rejected,
+                stats.failovers,
+                stats.card_failures,
+                stats.hazard_completions,
+                summary["scrub_detected"],
+                summary["scrub_corrected"],
+                stats.schedule_digest()[:16],
+            )
+            if fingerprint is None:
+                fingerprint = run_print
+            elif run_print != fingerprint:
+                raise AssertionError(
+                    f"non-deterministic fault fleet: {run_print} != {fingerprint}"
+                )
+            best_rate = max(best_rate, stats.completed / elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    results["fault_fleet"] = {
+        "cards": fleet_cards,
+        "requests": fleet_trace_length,
+        "events_dispatched": fingerprint[0],
+        "final_time_ns": fingerprint[1],
+        "completed": fingerprint[2],
+        "rejected": fingerprint[3],
+        "failovers": fingerprint[4],
+        "card_failures": fingerprint[5],
+        "hazard_completions": fingerprint[6],
+        "scrub_detected": fingerprint[7],
+        "scrub_corrected": fingerprint[8],
+        "schedule_digest": fingerprint[9],
+        "requests_per_s": round(best_rate, 1),
+    }
+    return results
+
+
 def _warm_up(seconds: float = 0.3) -> None:
     """Spin briefly so frequency governors reach steady state before timing."""
     deadline = time.perf_counter() + seconds
@@ -456,6 +622,7 @@ SECTIONS = {
     "kernel": (bench_kernel, "BENCH_kernel.json"),
     "device": (bench_device, "BENCH_device.json"),
     "cluster": (bench_cluster, "BENCH_cluster.json"),
+    "faults": (bench_faults, "BENCH_faults.json"),
 }
 
 #: substrings marking higher-is-better rate fields (tolerance-compared).

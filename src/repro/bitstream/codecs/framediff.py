@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.bitstream.codecs.base import Codec, CodecError, register_codec
+from repro.bitstream.codecs.base import Codec, register_codec
 from repro.bitstream.codecs.rle import RunLengthCodec
 
 

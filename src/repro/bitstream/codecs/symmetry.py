@@ -15,7 +15,6 @@ it is: the stride is a device constant recorded in the compressed header.
 from __future__ import annotations
 
 import struct
-from typing import Optional
 
 from repro.bitstream.codecs.base import Codec, CodecError, register_codec
 from repro.bitstream.codecs.rle import RunLengthCodec

@@ -11,7 +11,7 @@ one of the functions offered by the co-processor's function bank), while the
 from __future__ import annotations
 
 import zlib
-from typing import Iterable, List
+from typing import List
 
 #: Reflected polynomial for IEEE CRC-32.
 _POLYNOMIAL = 0xEDB88320

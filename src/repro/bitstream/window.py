@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 from repro.bitstream.codecs.base import Codec, CodecError, get_codec
 from repro.bitstream.crc import crc32

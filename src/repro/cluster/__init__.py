@@ -22,7 +22,7 @@ from repro.cluster.dispatch import (
     RoundRobinPolicy,
     build_dispatch_policy,
 )
-from repro.cluster.fleet import Fleet, FleetCard
+from repro.cluster.fleet import Fleet, FleetCard, HealOrder, RetryEnvelope, ScrubOrder
 from repro.cluster.stats import FleetStatistics
 
 __all__ = [
@@ -32,6 +32,9 @@ __all__ = [
     "Fleet",
     "FleetCard",
     "FleetStatistics",
+    "HealOrder",
+    "RetryEnvelope",
+    "ScrubOrder",
     "LeastOutstandingPolicy",
     "RoundRobinPolicy",
     "build_dispatch_policy",

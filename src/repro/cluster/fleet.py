@@ -23,18 +23,70 @@ Admission control is at the dispatcher: a card with ``queue_depth``
 outstanding requests is inadmissible, and when every card is full the request
 is rejected and counted, not queued forever (the fleet serves an open system;
 unbounded queues would hide overload instead of surfacing it).
+
+Fault tolerance (PR 4)
+----------------------
+Cards carry a health state (``up`` / ``degraded`` / ``down``).  A *down* card
+is invisible to dispatch; its queued and in-flight requests are failed over —
+re-dispatched through the policy to a surviving card, or rejected when the
+fleet is full — never silently dropped.  A *degraded* card (wedged
+configuration port) still serves resident functions but cannot reconfigure;
+misses routed there fail and fail over.  With fault tolerance enabled
+(:meth:`Fleet.enable_fault_tolerance`), each card additionally runs a
+readback-scrub service on a configurable period, and a card failure triggers
+the recovery policy: the dead card's hottest resident functions are
+re-resident-ized (preloaded) on the surviving cards with the most free
+fabric.  Scrub and heal work flow through the same bounded card queues as
+requests, so reliability spends real card time — the trade-off E10 sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.dispatch import DispatchPolicy, build_dispatch_policy
 from repro.cluster.stats import FleetStatistics
+from repro.core.exceptions import CoprocessorError
 from repro.core.host import HostDriver
 from repro.sim.kernel import Simulator, Store, Timeout
 from repro.workloads.multitenant import FleetRequest, FleetTrace
+
+
+class ScrubOrder:
+    """Internal card-queue item: run one readback-scrub window."""
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames: Optional[int]) -> None:
+        self.frames = frames
+
+
+class HealOrder:
+    """Internal card-queue item: re-resident-ize a dead card's function."""
+
+    __slots__ = ("function", "failed_card", "killed_at_ns")
+
+    def __init__(self, function: str, failed_card: str, killed_at_ns: float) -> None:
+        self.function = function
+        self.failed_card = failed_card
+        self.killed_at_ns = killed_at_ns
+
+
+class RetryEnvelope:
+    """Internal card-queue item: a failed-over request plus the cards tried.
+
+    The tried set is what bounds failover: each card is offered a request at
+    most once, so two wedged cards can never hand it back and forth at one
+    frozen kernel instant (queue hand-offs cost zero simulated time), and a
+    healthy card is never starved of its turn by the retry rotation.
+    """
+
+    __slots__ = ("request", "tried")
+
+    def __init__(self, request: FleetRequest, tried: frozenset) -> None:
+        self.request = request
+        self.tried = tried
 
 
 class FleetCard:
@@ -53,15 +105,23 @@ class FleetCard:
         self.outstanding = 0
         self.served = 0
         self.busy_ns = 0.0
+        #: Health state: "up", "degraded" (configuration port wedged — serves
+        #: hits, cannot reconfigure) or "down" (invisible to dispatch).
+        self.health = "up"
+        self.down_since_ns: Optional[float] = None
+        self.degraded_until_ns = 0.0
+        self.serve_failures = 0
+        #: True while a scrub order is queued/in service (one at a time).
+        self.scrub_pending = False
 
     # --------------------------------------------------------------- queries
     @property
     def has_room(self) -> bool:
-        return self.outstanding < self.queue_depth
+        return self.health != "down" and self.outstanding < self.queue_depth
 
     def holds(self, function: str) -> bool:
         """Does this card's fabric currently hold *function*'s frames?"""
-        return self.driver.card.is_resident(function)
+        return self.health != "down" and self.driver.card.is_resident(function)
 
     @property
     def free_frames(self) -> int:
@@ -87,6 +147,32 @@ class FleetCard:
         self.served += 1
         self.busy_ns += service_ns
         return service_ns, hit
+
+    @property
+    def hazard_detector(self):
+        """The card's executor-path hazard detector (``None`` unprotected)."""
+        return self.driver.coprocessor.device.hazard_detector
+
+    def scrub_chunk(self, max_frames: Optional[int]) -> float:
+        """Run one scrub window on the card's private timeline; returns Δt."""
+        scrubber = self.driver.coprocessor.scrubber
+        if scrubber is None:
+            return 0.0
+        clock = self.driver.clock
+        before = clock.now
+        scrubber.scrub_pass(max_frames=max_frames)
+        elapsed = clock.now - before
+        self.busy_ns += elapsed
+        return elapsed
+
+    def preload_timed(self, function: str) -> float:
+        """Preload *function* through the PCI path; returns the card-local Δt."""
+        clock = self.driver.clock
+        before = clock.now
+        self.driver.preload(function)
+        elapsed = clock.now - before
+        self.busy_ns += elapsed
+        return elapsed
 
 
 class Fleet:
@@ -127,6 +213,16 @@ class Fleet:
         self.stats = FleetStatistics()
         self._workers_spawned = False
         self._arrivals_process = None
+        # Fault tolerance (all off until enable_fault_tolerance/install_faults).
+        self.scrub_period_ns: Optional[float] = None
+        self.scrub_frames_per_order = 8
+        self.heal_on_failure = False
+        self.heal_limit = 4
+        self.injector = None
+        #: Named kernel services (scrub timers, fault processes): factories
+        #: producing fresh generators; re-spawned by run() when finished.
+        self._services: List[Tuple[str, Callable]] = []
+        self._service_processes: Dict[str, object] = {}
         # Bind last, so a failed construction does not poison the instance.
         self.policy._fleet_bound = True
 
@@ -142,13 +238,84 @@ class Fleet:
             self.simulator.spawn(self._worker(card), name=f"{card.name}-worker")
 
     def _worker(self, card: FleetCard):
-        """Drain one card's queue forever (idles when the queue is empty)."""
+        """Drain one card's queue forever (idles when the queue is empty).
+
+        Besides tenant requests the queue carries OS-level work — scrub
+        windows and heal preloads — so reliability work contends for the same
+        card time as traffic.  A request popped on (or completed after) a
+        dead card is failed over, never dropped.
+        """
         while True:
-            request = yield card.queue.get()
+            item = yield card.queue.get()
+            if item.__class__ is ScrubOrder:
+                if card.health != "down":
+                    elapsed = card.scrub_chunk(item.frames)
+                    if elapsed > 0:
+                        yield Timeout(elapsed)
+                card.outstanding -= 1
+                card.scrub_pending = False
+                continue
+            tried = frozenset()
+            if item.__class__ is RetryEnvelope:
+                tried = item.tried
+                item = item.request
+            if item.__class__ is HealOrder:
+                healed = False
+                if card.health != "down":
+                    try:
+                        elapsed = card.preload_timed(item.function)
+                        healed = True
+                    except CoprocessorError:
+                        # Capacity or a (now) wedged port: the heal is best
+                        # effort — the function stays cold until requested.
+                        elapsed = 0.0
+                    if elapsed > 0:
+                        yield Timeout(elapsed)
+                card.outstanding -= 1
+                if healed:
+                    self.stats.record_heal(
+                        item.function, card.name, item.killed_at_ns, self.clock.now
+                    )
+                continue
+            request = item
+            if card.health == "down":
+                card.outstanding -= 1
+                self._failover(request, card, "dead-queue", tried)
+                continue
             started_ns = self.clock.now
-            service_ns, hit = card.serve(request)
+            detector = card.hazard_detector
+            hazards_before = detector.hazard_executions if detector is not None else 0
+            card_clock_before = card.driver.clock.now
+            try:
+                service_ns, hit = card.serve(request)
+            except CoprocessorError:
+                # The card refused (configuration failed on a degraded port,
+                # or capacity).  The refusal was not free: the input transfer
+                # and register traffic already advanced the card's private
+                # clock, so charge that time on the fleet timeline before
+                # handing the request back to the dispatcher.
+                failed_ns = card.driver.clock.now - card_clock_before
+                card.busy_ns += failed_ns
+                card.serve_failures += 1
+                if failed_ns > 0:
+                    yield Timeout(failed_ns)
+                card.outstanding -= 1
+                self._failover(request, card, "serve-failed", tried)
+                continue
+            hazard = (
+                detector is not None and detector.hazard_executions > hazards_before
+            )
             yield Timeout(service_ns)
             card.outstanding -= 1
+            if (
+                card.health == "down"
+                and card.down_since_ns is not None
+                and card.down_since_ns < self.clock.now
+            ):
+                # The card died while this request was in flight: its result
+                # never reached the host.  Retry elsewhere.
+                self._failover(request, card, "died-in-service", tried)
+                continue
             self.stats.record_completion(
                 tenant=request.tenant,
                 function=request.function,
@@ -157,17 +324,51 @@ class Fleet:
                 arrival_ns=request.arrival_ns,
                 started_ns=started_ns,
                 completed_ns=self.clock.now,
+                hazard=hazard,
             )
 
-    def _dispatch(self, request: FleetRequest) -> None:
-        self.stats.record_arrival(request.tenant, request.arrival_ns)
-        card = self.policy.choose(request, self.cards)
+    def _route(
+        self,
+        request: FleetRequest,
+        candidates: Sequence[FleetCard],
+        tried: frozenset = frozenset(),
+    ) -> None:
+        """Choose among *candidates* and enqueue, or reject.  The single
+        admission/enqueue path shared by fresh dispatch and failover."""
+        card = self.policy.choose(request, candidates)
         if card is None:
             self.stats.record_rejection(request.tenant, request.function, self.clock.now)
             return
         card.outstanding += 1
         self.stats.record_dispatch(request.tenant, card.name)
-        card.queue.put(request)
+        card.queue.put(request if not tried else RetryEnvelope(request, tried))
+
+    def _dispatch(self, request: FleetRequest) -> None:
+        self.stats.record_arrival(request.tenant, request.arrival_ns)
+        self._route(request, self.cards)
+
+    def _failover(
+        self, request: FleetRequest, failed: FleetCard, reason: str, tried: frozenset
+    ) -> None:
+        """Re-dispatch a request its card could not finish (or reject it).
+
+        Every previously-tried card is excluded from the retry, so each card
+        is offered a request at most once (no healthy card is starved of its
+        turn by the retry rotation) and the bounce chain always terminates:
+        queue hand-offs happen at a single kernel instant, so an uncapped
+        retry between (say) two wedged ports would spin the event loop
+        forever without simulated time ever advancing past the port-recovery
+        events.
+        """
+        self.stats.record_failover(
+            request.tenant, request.function, failed.name, reason, self.clock.now
+        )
+        tried = tried | {failed.index}
+        candidates = [card for card in self.cards if card.index not in tried]
+        if not candidates:
+            self.stats.record_rejection(request.tenant, request.function, self.clock.now)
+            return
+        self._route(request, candidates, tried)
 
     def _arrivals(self, trace: FleetTrace):
         # The trace's arrival_ns are relative to the start of this run: on a
@@ -182,6 +383,184 @@ class Fleet:
             if delay > 0:
                 yield Timeout(delay)
             self._dispatch(request)
+
+    # ------------------------------------------------------- fault tolerance
+    @property
+    def is_idle(self) -> bool:
+        """No undelivered arrivals and no outstanding work on any card.
+
+        The stop condition every periodic service (scrub timers, fault
+        processes) checks so the kernel's event queue can drain once the
+        trace is served.
+        """
+        if self._arrivals_process is not None and not self._arrivals_process.finished:
+            return False
+        return all(card.outstanding == 0 for card in self.cards)
+
+    def add_service(self, name: str, factory: Callable) -> None:
+        """Register a named kernel service; run() (re)spawns finished ones."""
+        self._services.append((name, factory))
+
+    def _spawn_services(self) -> None:
+        for name, factory in self._services:
+            process = self._service_processes.get(name)
+            if process is None or process.finished:
+                self._service_processes[name] = self.simulator.spawn(
+                    factory(), name=name
+                )
+
+    def enable_fault_tolerance(
+        self,
+        scrub_period_ns: Optional[float] = None,
+        scrub_frames_per_order: int = 8,
+        heal_on_failure: bool = True,
+        heal_limit: int = 4,
+    ) -> None:
+        """Install fault protection on every card and the fleet's services.
+
+        ``scrub_period_ns`` starts a per-card readback-scrub service checking
+        ``scrub_frames_per_order`` frames per period (``None`` disables
+        periodic scrubbing but still installs detection, golden images and
+        the healing policy).  ``scrub_period_ns=0`` selects *demand*
+        scrubbing instead: every execution first scrubs its function's
+        region, which closes the hazard window completely at a per-request
+        cost.
+        """
+        if scrub_frames_per_order <= 0:
+            raise ValueError("a scrub order must cover at least one frame")
+        for card in self.cards:
+            card.driver.coprocessor.enable_fault_protection()
+        self.scrub_period_ns = scrub_period_ns
+        self.scrub_frames_per_order = scrub_frames_per_order
+        self.heal_on_failure = heal_on_failure
+        self.heal_limit = heal_limit
+        if scrub_period_ns is not None:
+            if scrub_period_ns < 0:
+                raise ValueError("the scrub period cannot be negative")
+            if scrub_period_ns == 0:
+                for card in self.cards:
+                    card.driver.coprocessor.mcu.scrub_on_execute = True
+            else:
+                for card in self.cards:
+                    self.add_service(
+                        f"{card.name}-scrub",
+                        lambda card=card: self._scrub_service(card),
+                    )
+
+    def install_faults(self, injector) -> None:
+        """Attach a :class:`~repro.faults.injector.FaultInjector`'s processes."""
+        self.injector = injector
+        for name, factory in injector.processes(self):
+            self.add_service(name, factory)
+
+    def _scrub_service(self, card: FleetCard):
+        """Enqueue one scrub window per period (skips while one is pending)."""
+        period = self.scrub_period_ns
+        while True:
+            yield Timeout(period)
+            if self.is_idle:
+                return
+            if card.health == "down" or card.scrub_pending:
+                continue
+            card.scrub_pending = True
+            card.outstanding += 1
+            card.queue.put(ScrubOrder(self.scrub_frames_per_order))
+
+    def kill_card(self, index: int) -> bool:
+        """Whole-card failure: mark *index* down and trigger recovery.
+
+        The card's affinity state is invalidated (``holds`` answers False, so
+        dispatch stops routing to it), queued and in-flight requests fail
+        over, and — when healing is enabled — its hottest resident functions
+        are re-resident-ized on surviving cards.  Returns False when the card
+        was already down.
+        """
+        card = self.cards[index]
+        if card.health == "down":
+            return False
+        now = self.clock.now
+        card.health = "down"
+        card.down_since_ns = now
+        self.stats.record_card_failure(card.name, now)
+        if self.heal_on_failure:
+            self._schedule_heals(card, now)
+        return True
+
+    def degrade_card(self, index: int, duration_ns: float) -> bool:
+        """Wedge a card's configuration port for *duration_ns* of fleet time.
+
+        A degraded card keeps serving resident functions; requests that need
+        a reconfiguration fail there and fail over.  Returns False when the
+        card is down (nothing left to degrade).
+        """
+        card = self.cards[index]
+        if card.health == "down":
+            return False
+        card.driver.coprocessor.device.port.wedge()
+        until = self.clock.now + duration_ns
+        card.degraded_until_ns = max(card.degraded_until_ns, until)
+        if card.health != "degraded":
+            card.health = "degraded"
+            self.stats.record_card_degraded(card.name, self.clock.now)
+        self.simulator.spawn(
+            self._port_recovery(card, duration_ns), name=f"{card.name}-port-recovery"
+        )
+        return True
+
+    def _port_recovery(self, card: FleetCard, duration_ns: float):
+        yield Timeout(duration_ns)
+        if card.health == "down" or self.clock.now < card.degraded_until_ns:
+            return  # dead, or a later fault extended the degradation
+        card.driver.coprocessor.device.port.unwedge()
+        if card.health == "degraded":
+            card.health = "up"
+            self.stats.record_card_recovered(card.name, self.clock.now)
+
+    def _schedule_heals(self, dead: FleetCard, killed_at_ns: float) -> None:
+        """Re-resident-ize the dead card's hottest functions on survivors."""
+        resident = dead.driver.card.resident_functions()
+        per_function = dead.driver.coprocessor.stats.per_function_requests
+        hot = sorted(resident, key=lambda fn: (-per_function.get(fn, 0), fn))
+        for function in hot[: self.heal_limit]:
+            if any(card.holds(function) for card in self.cards):
+                continue  # already covered elsewhere
+            candidates = [
+                card
+                for card in self.cards
+                if card.health == "up" and card.outstanding < card.queue_depth
+            ]
+            if not candidates:
+                self.stats.heals_skipped += 1
+                continue
+            target = min(
+                candidates,
+                key=lambda card: (-card.free_frames, card.outstanding, card.index),
+            )
+            target.outstanding += 1
+            self.stats.record_heal_order(function, target.name, killed_at_ns)
+            target.queue.put(HealOrder(function, dead.name, killed_at_ns))
+
+    def availability(self) -> float:
+        """Capacity availability: 1 − card-downtime share of the service window.
+
+        The window runs from the first arrival to the later of the last
+        completion and the current kernel time, so a fleet that completed
+        nothing (every card dead, every arrival rejected) reports the
+        downtime it actually suffered instead of a vacuous 1.0, and downtime
+        after the final completion still counts.
+        """
+        start = self.stats.first_arrival_ns
+        if start is None:
+            return 1.0
+        end = max(self.clock.now, self.stats.last_completion_ns)
+        span = end - start
+        if span <= 0:
+            return 1.0
+        down = 0.0
+        for card in self.cards:
+            if card.down_since_ns is not None:
+                down += max(0.0, end - max(card.down_since_ns, start))
+        return 1.0 - down / (len(self.cards) * span)
 
     # ------------------------------------------------------------------- run
     def run(self, trace: FleetTrace, until_ns: Optional[float] = None) -> FleetStatistics:
@@ -201,6 +580,7 @@ class Fleet:
                 "(truncated by until_ns); drain it before offering a new trace"
             )
         self._spawn_workers()
+        self._spawn_services()
         self._arrivals_process = self.simulator.spawn(
             self._arrivals(trace), name="fleet-arrivals"
         )
@@ -236,9 +616,45 @@ class Fleet:
                     "hit_rate": copro_stats.hit_rate,
                     "utilisation": (card.busy_ns / span) if span > 0 else 0.0,
                     "resident": ",".join(card.resident_functions()),
+                    "health": card.health,
                 }
             )
         return rows
+
+    def fault_summary(self) -> dict:
+        """Aggregate reliability picture across the whole fleet."""
+        detected = corrected = uncorrectable = passes = frames_checked = 0
+        hazard_executions = 0
+        for card in self.cards:
+            scrubber = card.driver.coprocessor.scrubber
+            if scrubber is not None:
+                detected += scrubber.stats.detected
+                corrected += scrubber.stats.corrected
+                uncorrectable += scrubber.stats.uncorrectable
+                passes += scrubber.stats.passes
+                frames_checked += scrubber.stats.frames_checked
+            detector = card.hazard_detector
+            if detector is not None:
+                hazard_executions += detector.hazard_executions
+        stats = self.stats
+        return {
+            "availability": self.availability(),
+            "service_availability": stats.service_availability,
+            "cards_down": sum(1 for card in self.cards if card.health == "down"),
+            "card_failures": stats.card_failures,
+            "failovers": stats.failovers,
+            "heal_orders": stats.heal_orders,
+            "heals_completed": stats.heals_completed,
+            "mttr_ns": stats.mttr_ns,
+            "scrub_passes": passes,
+            "scrub_frames_checked": frames_checked,
+            "scrub_detected": detected,
+            "scrub_corrected": corrected,
+            "scrub_uncorrectable": uncorrectable,
+            "hazard_executions": hazard_executions,
+            "hazard_completions": stats.hazard_completions,
+            "silent_corruption_rate": stats.silent_corruption_rate,
+        }
 
     def describe(self) -> str:
         lines = [

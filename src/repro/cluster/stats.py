@@ -47,6 +47,21 @@ class FleetStatistics:
         self._per_tenant_sojourn: Dict[str, ReservoirSampler] = {}
         self._fleet_sojourn = ReservoirSampler(reservoir_capacity, self._rng.fork("fleet"))
         self._digest = hashlib.sha256()
+        # --- reliability (PR 4: repro.faults) ------------------------------
+        self.card_failures = 0
+        self.card_degradations = 0
+        self.card_recoveries = 0
+        self.card_down_since: Dict[str, float] = {}
+        self.failovers = 0
+        self.per_tenant_failovers: Dict[str, int] = defaultdict(int)
+        self.failover_reasons: Dict[str, int] = defaultdict(int)
+        self.heal_orders = 0
+        self.heals_completed = 0
+        self.heals_skipped = 0
+        self.total_heal_latency_ns = 0.0
+        #: Completions whose execution ran over a CRC-mismatching frame — the
+        #: fleet's *silent corruption* count (the host saw STATUS_OK).
+        self.hazard_completions = 0
 
     # ------------------------------------------------------------- recording
     def record_arrival(self, tenant: str, arrival_ns: float) -> None:
@@ -65,6 +80,42 @@ class FleetStatistics:
         self.per_tenant_dispatched[tenant] += 1
         self.per_card_dispatched[card_name] += 1
 
+    def record_card_failure(self, card_name: str, now_ns: float) -> None:
+        self.card_failures += 1
+        self.card_down_since.setdefault(card_name, now_ns)
+        self._digest.update(f"kill|{card_name}|{now_ns!r}".encode())
+
+    def record_card_degraded(self, card_name: str, now_ns: float) -> None:
+        self.card_degradations += 1
+        self._digest.update(f"degrade|{card_name}|{now_ns!r}".encode())
+
+    def record_card_recovered(self, card_name: str, now_ns: float) -> None:
+        self.card_recoveries += 1
+        self._digest.update(f"recover|{card_name}|{now_ns!r}".encode())
+
+    def record_failover(
+        self, tenant: str, function: str, card_name: str, reason: str, now_ns: float
+    ) -> None:
+        self.failovers += 1
+        self.per_tenant_failovers[tenant] += 1
+        self.failover_reasons[reason] += 1
+        self._digest.update(
+            f"failover|{tenant}|{function}|{card_name}|{reason}|{now_ns!r}".encode()
+        )
+
+    def record_heal_order(self, function: str, card_name: str, killed_at_ns: float) -> None:
+        self.heal_orders += 1
+        self._digest.update(f"heal-order|{function}|{card_name}|{killed_at_ns!r}".encode())
+
+    def record_heal(
+        self, function: str, card_name: str, killed_at_ns: float, completed_ns: float
+    ) -> None:
+        self.heals_completed += 1
+        self.total_heal_latency_ns += completed_ns - killed_at_ns
+        self._digest.update(
+            f"heal|{function}|{card_name}|{killed_at_ns!r}|{completed_ns!r}".encode()
+        )
+
     def record_completion(
         self,
         tenant: str,
@@ -74,6 +125,7 @@ class FleetStatistics:
         arrival_ns: float,
         started_ns: float,
         completed_ns: float,
+        hazard: bool = False,
     ) -> None:
         self.completed += 1
         if hit:
@@ -97,9 +149,14 @@ class FleetStatistics:
             self._per_tenant_sojourn[tenant] = sampler
         sampler.add(sojourn_ns)
         self._fleet_sojourn.add(sojourn_ns)
+        # The hazard marker is appended only when set, so fault-free runs keep
+        # the schedule digests they had before the fault layer existed.
+        suffix = "|hz" if hazard else ""
+        if hazard:
+            self.hazard_completions += 1
         self._digest.update(
             f"done|{tenant}|{function}|{card_name}|{int(hit)}|"
-            f"{arrival_ns!r}|{started_ns!r}|{completed_ns!r}".encode()
+            f"{arrival_ns!r}|{started_ns!r}|{completed_ns!r}{suffix}".encode()
         )
 
     # -------------------------------------------------------------- derived
@@ -123,6 +180,29 @@ class FleetStatistics:
     @property
     def mean_sojourn_ns(self) -> float:
         return self.total_sojourn_ns / self.completed if self.completed else 0.0
+
+    @property
+    def service_availability(self) -> float:
+        """Fraction of arrivals the fleet actually completed.
+
+        Rejections — whether from overload or from capacity lost to dead
+        cards — are unavailability as the tenants experience it.
+        """
+        return self.completed / self.arrivals if self.arrivals else 1.0
+
+    @property
+    def silent_corruption_rate(self) -> float:
+        """Fraction of completions that executed over corrupted frames."""
+        return self.hazard_completions / self.completed if self.completed else 0.0
+
+    @property
+    def mttr_ns(self) -> float:
+        """Mean card-failure-to-heal-completion latency (0 when no heals)."""
+        return (
+            self.total_heal_latency_ns / self.heals_completed
+            if self.heals_completed
+            else 0.0
+        )
 
     @property
     def makespan_ns(self) -> float:

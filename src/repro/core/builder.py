@@ -87,6 +87,12 @@ def build_fleet(
     policy: str = "affinity",
     queue_depth: int = 8,
     simulator=None,
+    fault_tolerance: bool = False,
+    scrub_period_ns: Optional[float] = None,
+    scrub_frames_per_order: int = 8,
+    heal_on_failure: bool = True,
+    heal_limit: int = 4,
+    fault_spec=None,
 ):
     """Wire *cards* identical co-processor cards into a ready :class:`Fleet`.
 
@@ -98,6 +104,12 @@ def build_fleet(
 
     ``policy`` is a dispatch policy name (``round_robin``,
     ``least_outstanding`` or ``affinity``).
+
+    ``fault_tolerance`` installs the :mod:`repro.faults` stack on every card
+    (golden images, hazard detection, healing), with ``scrub_period_ns``
+    optionally starting the periodic readback-scrub services.  ``fault_spec``
+    (a :class:`~repro.faults.spec.FaultSpec`) additionally installs a fault
+    injector whose processes run alongside the fleet's own schedule.
     """
     from repro.cluster.fleet import Fleet
 
@@ -107,4 +119,16 @@ def build_fleet(
         build_host_driver(config=config, bank=bank, functions=functions)
         for _ in range(cards)
     ]
-    return Fleet(drivers, policy=policy, simulator=simulator, queue_depth=queue_depth)
+    fleet = Fleet(drivers, policy=policy, simulator=simulator, queue_depth=queue_depth)
+    if fault_tolerance or scrub_period_ns is not None:
+        fleet.enable_fault_tolerance(
+            scrub_period_ns=scrub_period_ns,
+            scrub_frames_per_order=scrub_frames_per_order,
+            heal_on_failure=heal_on_failure,
+            heal_limit=heal_limit,
+        )
+    if fault_spec is not None:
+        from repro.faults import FaultInjector
+
+        fleet.install_faults(FaultInjector(fault_spec))
+    return fleet

@@ -8,10 +8,9 @@ placed back into the window for the driver to read out.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.coprocessor import AgileCoprocessor, ExecutionResult
-from repro.core.exceptions import UnknownFunctionError
 from repro.mcu.commands import (
     REG_COMMAND,
     REG_FUNCTION_ID,
@@ -63,6 +62,7 @@ class CoprocessorCard(PciDevice):
             CommandKind.EVICT: self._handle_evict,
             CommandKind.STATUS: self._handle_nop,
             CommandKind.RESET: self._handle_reset,
+            CommandKind.SCRUB: self._handle_scrub,
         }[kind]
         handler()
         self.commands_processed += 1
@@ -118,7 +118,23 @@ class CoprocessorCard(PciDevice):
         except CapacityError:
             self._finish(STATUS_CAPACITY)
             return
+        except ConfigurationError:
+            # A wedged/stalled configuration port (fault model) fails the
+            # preload the same way it fails an on-demand load.
+            self._finish(STATUS_CONFIG_FAILED)
+            return
         self._finish(STATUS_OK, elapsed_ns=outcome.total_time_ns)
+
+    def _handle_scrub(self) -> None:
+        """Run one readback-scrub pass; corrected count lands in OUTPUT_LENGTH."""
+        result = self.coprocessor.scrub()
+        if result is None:
+            self._finish(STATUS_BAD_COMMAND)
+            return
+        self._finish(STATUS_OK, elapsed_ns=result.elapsed_ns)
+        # No data payload: reuse the output-length register to report how many
+        # frames the pass repaired (the driver's scrub_card returns it).
+        self.interface.write_register(REG_OUTPUT_LENGTH, result.corrected)
 
     def _handle_evict(self) -> None:
         name = self._function_name()

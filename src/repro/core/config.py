@@ -8,8 +8,7 @@ partially reconfigurable FPGA, a 4 MiB configuration flash, 1 MiB of SRAM, a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.fpga.geometry import FabricGeometry
 from repro.fpga.placer import PlacementStrategy

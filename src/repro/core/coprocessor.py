@@ -12,18 +12,17 @@ directly when an experiment only cares about card-internal behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.bitstream.codecs import get_codec
 from repro.bitstream.window import WindowedCompressor
 from repro.fpga.bitgen import BitstreamGenerator
 from repro.fpga.device import FPGADevice
-from repro.fpga.frame import FrameRegion
 from repro.fpga.placer import Placer, PlacementStrategy
 from repro.functions.bank import FunctionBank
 from repro.core.config import CoprocessorConfig
-from repro.core.exceptions import CardNotReadyError, UnknownFunctionError
+from repro.core.exceptions import UnknownFunctionError
 from repro.core.stats import CoprocessorStatistics
 from repro.mcu.config_module import ConfigurationModule
 from repro.mcu.data_modules import DataInputModule, OutputCollectionModule
@@ -127,6 +126,8 @@ class AgileCoprocessor:
         self._bitgen = BitstreamGenerator(geometry)
         self._bank_downloaded = False
         self.download_reports: Dict[str, Dict[str, float]] = {}
+        #: Readback-scrub service; installed by enable_fault_protection().
+        self.scrubber = None
 
     # ----------------------------------------------------------- bank download
     def download_bank(self) -> Dict[str, FunctionRecord]:
@@ -239,6 +240,44 @@ class AgileCoprocessor:
     def evict(self, name: str) -> None:
         """Explicitly evict *name* from the fabric."""
         self.mcu.evict(name)
+
+    # ----------------------------------------------------- fault protection
+    def enable_fault_protection(self, check_cycles_per_byte: float = 0.25):
+        """Install the golden store, hazard detector and scrub service.
+
+        Idempotent.  Functions already live on the fabric are assumed clean
+        and their readback is captured as golden.  Returns the scrubber.
+        """
+        if self.scrubber is not None:
+            return self.scrubber
+        from repro.faults import FrameHazardDetector, GoldenImageStore, Scrubber
+
+        device = self.device
+        golden = GoldenImageStore(self.geometry.frame_config_bytes)
+        for _, loaded in sorted(device.loaded_functions.items()):
+            golden.capture(
+                loaded.region,
+                [device.memory.read_frame(a) for a in loaded.region],
+            )
+        device.golden = golden
+        device.hazard_detector = FrameHazardDetector(device.memory)
+        self.scrubber = Scrubber(
+            device,
+            golden,
+            clock=self.clock,
+            scrub_clock_hz=self.config.config_clock_hz,
+            check_cycles_per_byte=check_cycles_per_byte,
+        )
+        self.minios.register_service("scrubber", self.scrubber)
+        return self.scrubber
+
+    @property
+    def fault_protected(self) -> bool:
+        return self.scrubber is not None
+
+    def scrub(self, max_frames: Optional[int] = None):
+        """One readback-scrub pass (``None`` when protection is disabled)."""
+        return self.mcu.scrub(max_frames=max_frames)
 
     def reset(self) -> None:
         """Clear the fabric, the mini OS and the statistics (keeps the ROM)."""

@@ -10,8 +10,8 @@ against host-only execution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.card import CoprocessorCard
 from repro.core.coprocessor import AgileCoprocessor, ExecutionResult
@@ -148,6 +148,16 @@ class HostDriver:
 
     def reset_card(self) -> None:
         self._issue_command(CommandKind.RESET, 0, 0)
+
+    def scrub_card(self) -> int:
+        """Run one readback-scrub pass on the card; returns frames repaired.
+
+        Requires the card's fault protection to be enabled (the card answers
+        STATUS_BAD_COMMAND otherwise, surfaced here as
+        :class:`~repro.core.exceptions.CoprocessorError`).
+        """
+        self._issue_command(CommandKind.SCRUB, 0, 0)
+        return self.bridge.read_register(self.card.name, REG_OUTPUT_LENGTH)
 
 
 def build_host_system(coprocessor: AgileCoprocessor, window_bytes: int = 128 * 1024) -> HostDriver:

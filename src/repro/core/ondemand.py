@@ -11,9 +11,9 @@ per-request records and the aggregate metrics the experiments report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Sequence
+from typing import Any, Dict, List, Optional, Protocol
 
-from repro.workloads.trace import Request, Trace
+from repro.workloads.trace import Trace
 
 
 class ExecutionEngine(Protocol):

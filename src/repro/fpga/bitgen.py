@@ -15,14 +15,14 @@ the cached bytes are exactly the ones a fresh render would produce.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro.bitstream.format import Bitstream, build_bitstream
 from repro.fpga.frame import Frame
 from repro.fpga.geometry import FabricGeometry, FrameAddress
 from repro.fpga.lut import LookUpTable
 from repro.fpga.netlist import Netlist
-from repro.fpga.placer import CellSite, Placement
+from repro.fpga.placer import Placement
 from repro.sim.rand import SeededRandom
 
 

@@ -9,7 +9,7 @@ layout of the per-frame configuration data that bit-streams carry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.fpga.lut import LookUpTable
 

@@ -12,7 +12,7 @@ device, and region-granular operations update the index in one batch.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.fpga.errors import ConfigurationError, FrameCollisionError
 from repro.fpga.frame import Frame, FrameArray, FrameRegion
@@ -69,6 +69,18 @@ class ConfigurationMemory:
 
     def owned_frames(self, owner: str) -> List[FrameAddress]:
         return sorted(self._owner_frames.get(owner, ()), key=self._flat_order.__getitem__)
+
+    def configured_frames(self) -> List[FrameAddress]:
+        """Every frame currently owned by some function, in raster order.
+
+        The fault injector's targeted process draws from this list: upsets in
+        unowned (erased) frames are harmless, so an experiment stressing the
+        hazard window aims at live configuration.
+        """
+        return sorted(
+            (address for address, owner in self._owners.items() if owner is not None),
+            key=self._flat_order.__getitem__,
+        )
 
     def unowned_frames(self) -> List[FrameAddress]:
         return sorted(self._free, key=self._flat_order.__getitem__)
@@ -201,6 +213,21 @@ class ConfigurationMemory:
                 self._owners[address] = None
         self._owner_frames.clear()
         self._free = set(self._owners)
+
+    # ------------------------------------------------------------ fault model
+    def corrupt_bit(self, address: FrameAddress, bit_index: int, bits: int = 1) -> bool:
+        """Flip configuration bits in one frame without updating its check word.
+
+        The entry point the fault injector uses to model radiation-induced
+        upsets in live configuration memory.  Returns True when the frame's
+        canonical readback actually changed (see :meth:`Frame.inject_upset`).
+        """
+        self.geometry.validate(address)
+        return self.frames[address].inject_upset(bit_index, bits=bits)
+
+    def frame_crc_ok(self, address: FrameAddress) -> bool:
+        """Does *address*'s readback still match its stored CRC check word?"""
+        return self.frames[address].crc_ok
 
     # ------------------------------------------------------------- readback
     def read_frame(self, address: FrameAddress) -> bytes:

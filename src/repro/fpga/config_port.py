@@ -10,8 +10,8 @@ experiments (E2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.bitstream.crc import IncrementalCrc32
 from repro.fpga.config_memory import ConfigurationMemory
@@ -29,6 +29,9 @@ class PortStatistics:
     bytes_written: int = 0
     busy_time_ns: float = 0.0
     crc_failures: int = 0
+    stall_events: int = 0
+    stalled_time_ns: float = 0.0
+    wedge_events: int = 0
 
     def reset(self) -> None:
         self.sessions = 0
@@ -36,6 +39,9 @@ class PortStatistics:
         self.bytes_written = 0
         self.busy_time_ns = 0.0
         self.crc_failures = 0
+        self.stall_events = 0
+        self.stalled_time_ns = 0.0
+        self.wedge_events = 0
 
 
 class ConfigurationPort:
@@ -76,12 +82,39 @@ class ConfigurationPort:
         self._session_owner: Optional[str] = None
         self._session_crc: Optional[IncrementalCrc32] = None
         self._session_frames: List[FrameAddress] = []
+        #: Fault model: a wedged port refuses new sessions until unwedged.
+        self.wedged = False
+        #: Fault model: pending transient stall, consumed (as configuration
+        #: clock time) by the next session that opens.
+        self._pending_stall_ns = 0.0
 
     # --------------------------------------------------------------- timing
     def write_time_ns(self, payload_bytes: int) -> float:
         """Time to push *payload_bytes* through the port, including setup."""
         cycles = self.frame_setup_cycles + -(-payload_bytes // self.port_width_bytes)
         return self.domain.cycles_to_ns(cycles)
+
+    # ---------------------------------------------------------- fault model
+    def wedge(self) -> None:
+        """Hard-fail the port: every new session raises until :meth:`unwedge`.
+
+        Models a wedged reconfiguration interface (clock glitch, upset in the
+        port's own state machine).  Functions already on the fabric keep
+        executing — only *re*configuration is lost.
+        """
+        if not self.wedged:
+            self.wedged = True
+            self.stats.wedge_events += 1
+
+    def unwedge(self) -> None:
+        self.wedged = False
+
+    def stall_for(self, duration_ns: float) -> None:
+        """Queue a transient stall consumed by the next configuration session."""
+        if duration_ns < 0:
+            raise ValueError("a stall cannot run backwards")
+        self._pending_stall_ns += duration_ns
+        self.stats.stall_events += 1
 
     # ------------------------------------------------------------- sessions
     @property
@@ -94,6 +127,16 @@ class ConfigurationPort:
             raise ConfigurationError(
                 f"configuration session for {self._session_owner!r} is still open"
             )
+        if self.wedged:
+            raise ConfigurationError(
+                f"configuration port is wedged; cannot open a session for {owner!r}"
+            )
+        if self._pending_stall_ns > 0.0:
+            stall = self._pending_stall_ns
+            self._pending_stall_ns = 0.0
+            self.stats.stalled_time_ns += stall
+            self.stats.busy_time_ns += stall
+            self.clock.advance(stall)
         self._session_owner = owner
         self._session_crc = IncrementalCrc32()
         self._session_frames = []

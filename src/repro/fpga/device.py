@@ -15,8 +15,8 @@ description of partial reconfiguration:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.bitstream.format import Bitstream
 from repro.fpga.config_memory import ConfigurationMemory
@@ -73,6 +73,12 @@ class FPGADevice:
         self.total_configurations = 0
         self.total_partial_configurations = 0
         self.total_executions = 0
+        #: Optional fault-tolerance hooks (see :mod:`repro.faults`): a golden
+        #: image store capturing each region's clean readback at configure
+        #: time, and a hazard detector consulted on every execute.  Both
+        #: default to ``None`` so fault-free simulations pay nothing.
+        self.golden = None
+        self.hazard_detector = None
 
     # ------------------------------------------------------------ inventory
     @property
@@ -141,6 +147,8 @@ class FPGADevice:
             executor=executor,
             loaded_at_ns=self.clock.now,
         )
+        if self.golden is not None:
+            self.golden.capture(region, [self.memory.read_frame(a) for a in region])
         self.total_configurations += 1
         self.total_partial_configurations += 1
         elapsed = self.clock.now - started
@@ -189,6 +197,10 @@ class FPGADevice:
             executor=executor,
             loaded_at_ns=self.clock.now,
         )
+        if self.golden is not None:
+            self.golden.capture(region, [self.memory.read_frame(a) for a in region])
+            if blank_addresses:
+                self.golden.release(FrameRegion.from_addresses(blank_addresses))
         self.total_configurations += 1
         elapsed = self.clock.now - started
         self.trace.record("fpga", "configure_full", started, self.clock.now, function=name)
@@ -205,6 +217,8 @@ class FPGADevice:
         except KeyError:
             raise ExecutionError(f"cannot unload {name!r}: it is not loaded") from None
         self.memory.clear_region(loaded.region)
+        if self.golden is not None:
+            self.golden.release(loaded.region)
         return loaded.region
 
     def unload_all(self) -> None:
@@ -223,6 +237,12 @@ class FPGADevice:
         except KeyError:
             raise ExecutionError(f"function {name!r} is not loaded on the fabric") from None
         started = self.clock.now
+        detector = self.hazard_detector
+        if detector is not None:
+            # The hazard window: a function whose frames were corrupted after
+            # configuration is about to execute anyway — the detector counts
+            # it (the simulation's omniscient view of silent corruption).
+            detector.observe_execution(name, loaded.region)
         output, cycles = loaded.executor.run(input_bytes)
         elapsed = self.fabric_domain.cycles_to_ns(cycles)
         self.clock.advance(elapsed)

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.fpga.errors import ExecutionError
-from repro.fpga.netlist import Cell, CellKind, Netlist
+from repro.fpga.netlist import Netlist
 
 
 class FunctionExecutor(Protocol):

@@ -4,15 +4,35 @@ A :class:`Frame` owns the CLBs (and their switch boxes) covered by one frame
 address and knows how to serialise / deserialise its configuration bytes.  A
 :class:`FrameRegion` is the set of frames assigned to one loaded function —
 the paper explicitly allows the set to be non-contiguous.
+
+Each frame also carries a stored CRC-32 *check word* over its configuration
+bytes, refreshed on every legitimate write (:meth:`Frame.load_config_bytes`,
+:meth:`Frame.clear`).  A single-event upset injected through
+:meth:`Frame.inject_upset` deliberately bypasses the check word, so a
+readback scrubber (:mod:`repro.faults`) can detect the corruption by
+recomputing the CRC — exactly the frame-ECC/readback-scrub story of real
+configuration memories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.bitstream.crc import crc32
 from repro.fpga.clb import ConfigurableLogicBlock
 from repro.fpga.geometry import FabricGeometry, FrameAddress
+
+#: length -> CRC-32 of that many zero bytes (the erased-frame check word).
+_ZERO_CRC: Dict[int, int] = {}
+
+
+def _zero_crc(length: int) -> int:
+    value = _ZERO_CRC.get(length)
+    if value is None:
+        value = crc32(bytes(length))
+        _ZERO_CRC[length] = value
+    return value
 
 
 class Frame:
@@ -38,6 +58,14 @@ class Frame:
         # Starts pessimistic because direct CLB mutation of a fresh frame is
         # allowed without an invalidate call.
         self._maybe_dirty = True
+        #: CRC-32 check word over the frame's configuration bytes as written.
+        #: Updated only on legitimate writes — never by inject_upset — so a
+        #: scrubber can detect corruption by recomputing the CRC on readback.
+        self.stored_crc = _zero_crc(geometry.frame_config_bytes)
+        # CRC of the *current* canonical readback, invalidated alongside
+        # _config_cache: the hazard detector checks crc_ok per frame on
+        # every execution, which must not re-hash unchanged bytes.
+        self._crc_cache: Optional[int] = self.stored_crc
 
     @property
     def flat_index(self) -> int:
@@ -61,6 +89,8 @@ class Frame:
         # Unconditionally: a stale non-zero serialisation cached before the
         # clear must not survive into the next readback.
         self._config_cache = bytes(self.config_byte_length)
+        self.stored_crc = _zero_crc(self.config_byte_length)
+        self._crc_cache = self.stored_crc
 
     @property
     def is_clear(self) -> bool:
@@ -74,6 +104,7 @@ class Frame:
     def invalidate_config_cache(self) -> None:
         """Drop the cached serialisation after direct CLB mutation."""
         self._config_cache = None
+        self._crc_cache = None
         self._maybe_dirty = True
 
     def to_config_bytes(self) -> bytes:
@@ -104,7 +135,60 @@ class Frame:
         # diverge from the real serialisation.  The next to_config_bytes
         # recomputes once and caches the canonical form.
         self._config_cache = None
+        self._crc_cache = None
         self._maybe_dirty = True
+        # The check word covers the bytes as written.  Canonical payloads
+        # (everything the bit-stream generator renders) round-trip exactly;
+        # a non-canonical write reads back differently and is treated as
+        # corrupt by the scrubber, which then restores the canonical golden
+        # image — the conservative direction.
+        self.stored_crc = crc32(data)
+
+    # ------------------------------------------------------------ fault model
+    @property
+    def crc_ok(self) -> bool:
+        """Does the live configuration still match its stored check word?"""
+        cached = self._crc_cache
+        if cached is None:
+            cached = crc32(self.to_config_bytes())
+            self._crc_cache = cached
+        return cached == self.stored_crc
+
+    def inject_upset(self, bit_index: int, bits: int = 1) -> bool:
+        """Flip *bits* consecutive configuration bits starting at *bit_index*.
+
+        Models a single-event upset (``bits=1``) or a multi-bit burst.  The
+        stored check word is deliberately left untouched: detection is the
+        scrubber's job.  Bit positions wrap within the frame.  Returns True
+        when the canonical readback actually changed — flips landing in
+        padding bits are masked by the CLB parser, exactly like upsets in
+        unused configuration cells of a real device.
+        """
+        if bits <= 0:
+            raise ValueError("an upset flips at least one bit")
+        total_bits = self.config_byte_length * 8
+        before = self.to_config_bytes()
+        data = bytearray(before)
+        per_clb = self.geometry.clb_config_bytes
+        touched = set()
+        for offset in range(bits):
+            position = (bit_index + offset) % total_bits
+            data[position >> 3] ^= 1 << (position & 7)
+            touched.add((position >> 3) // per_clb)
+        # Only the CLBs whose bytes the flip landed in are re-parsed: this is
+        # the fault hot path (tens of thousands of events per E10 cell), and
+        # reloading the whole frame for a 1-bit SEU would make it O(frame).
+        changed = False
+        for index in sorted(touched):
+            chunk = bytes(data[index * per_clb : (index + 1) * per_clb])
+            clb = self.clbs[index]
+            clb.load_config_bytes(chunk)
+            if clb.to_config_bytes() != before[index * per_clb : (index + 1) * per_clb]:
+                changed = True
+        self._config_cache = None
+        self._crc_cache = None
+        self._maybe_dirty = True
+        return changed
 
     def lut_utilisation(self) -> float:
         """Fraction of LUTs in this frame holding non-trivial logic."""

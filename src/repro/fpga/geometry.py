@@ -9,7 +9,7 @@ of allocation in the mini OS's free frame list.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 

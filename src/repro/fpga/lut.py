@@ -14,7 +14,7 @@ still available through :attr:`truth_table` for callers that want it.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 
 class LookUpTable:

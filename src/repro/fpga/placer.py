@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.fpga.errors import PlacementError
 from repro.fpga.frame import FrameRegion
 from repro.fpga.geometry import FabricGeometry, FrameAddress
-from repro.fpga.netlist import Cell, CellKind, Netlist
+from repro.fpga.netlist import Netlist
 
 
 class PlacementStrategy(enum.Enum):

@@ -9,8 +9,7 @@ from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 class CommandError(Exception):
@@ -31,6 +30,10 @@ class CommandKind(enum.IntEnum):
     STATUS = 0x04
     #: Reset the card: clear the fabric, the free frame list and statistics.
     RESET = 0x05
+    #: Run one readback-scrub pass over configuration memory (detect frames
+    #: whose CRC check word no longer matches and repair them from the golden
+    #: image).  Requires the card's fault-protection service to be enabled.
+    SCRUB = 0x06
 
 
 #: Register offsets in BAR0 (all 32-bit registers).

@@ -20,10 +20,10 @@ one window of fill latency, instead of their sum.  E2 uses both settings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.bitstream.format import Bitstream, parse_bitstream
+from repro.bitstream.format import parse_bitstream
 from repro.bitstream.window import CompressedImage, WindowedDecompressor
 from repro.bitstream.codecs import get_codec
 from repro.fpga.device import FPGADevice

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.fpga.device import FPGADevice
+from repro.fpga.errors import ConfigurationError
 from repro.functions.bank import FunctionBank
 from repro.mcu.config_module import ConfigurationModule, ReconfigurationReport
 from repro.mcu.data_modules import DataInputModule, OutputCollectionModule
@@ -88,6 +89,11 @@ class Microcontroller:
         self.outcomes: List[RequestOutcome] = []
         #: Cap kept so long traces do not grow memory without bound.
         self.max_recorded_outcomes = 10_000
+        #: Demand scrubbing ("readback-before-use"): when True and a scrubber
+        #: service is registered, every execute first scrubs the function's
+        #: region — the hazard window closes completely, every request pays
+        #: the region's check time.  The limiting case of periodic scrubbing.
+        self.scrub_on_execute = False
 
     # ----------------------------------------------------------- primitives
     def _charge_cycles(self, cycles: float) -> float:
@@ -114,6 +120,14 @@ class Microcontroller:
         outcome = RequestOutcome(function=name, output=b"", hit=decision.hit, decode_time_ns=decode_time)
         if not decision.hit:
             assert decision.region is not None
+            # A wedged configuration port (fault model) makes the load
+            # impossible: fail *before* evicting victims, so a degraded card
+            # keeps serving its resident functions instead of stripping its
+            # own fabric on every miss routed to it.
+            if self.device.port.wedged:
+                raise ConfigurationError(
+                    f"configuration port is wedged; cannot load {name!r}"
+                )
             reconfig_started = self.clock.now
             for victim in decision.evictions:
                 self.device.unload(victim)
@@ -144,6 +158,19 @@ class Microcontroller:
             self.device.unload(name)
             self.minios.commit_eviction(name)
 
+    def scrub(self, max_frames: Optional[int] = None):
+        """Run one readback-scrub pass (the SCRUB command).
+
+        Delegates to the mini OS's registered ``"scrubber"`` service (see
+        :class:`repro.faults.scrubber.Scrubber`); returns its
+        ``ScrubPassResult``, or ``None`` when no scrubber is installed.
+        """
+        self._charge_cycles(self.command_decode_cycles)
+        scrubber = self.minios.service("scrubber")
+        if scrubber is None:
+            return None
+        return scrubber.scrub_pass(max_frames=max_frames)
+
     def reset(self) -> None:
         """RESET command: clear the fabric and the mini OS state."""
         self._charge_cycles(self.command_decode_cycles)
@@ -160,6 +187,14 @@ class Microcontroller:
         """Run *name* on *data*, loading it on demand first if necessary."""
         started = self.clock.now
         outcome = self.ensure_loaded(name, future_requests=future_requests)
+
+        if self.scrub_on_execute:
+            scrubber = self.minios.service("scrubber")
+            if scrubber is not None:
+                # Readback-before-use: repair the function's frames before
+                # they execute.  Charged outside breakdown() (whose keys are
+                # part of committed report formats); total_time_ns covers it.
+                scrubber.scrub_region(self.minios.table.entry(name).region)
 
         # Stage the input in local RAM (the paper: inputs from the host are
         # stored in the local RAM before being passed to the data input module).

@@ -11,7 +11,7 @@ from repro.fpga.geometry import FabricGeometry
 from repro.fpga.placer import Placer, PlacementStrategy
 from repro.mcu.minios.free_frames import FreeFrameList
 from repro.mcu.minios.policies import CapacityError, LruPolicy, ReplacementPolicy
-from repro.mcu.minios.replacement import FrameReplacementEntry, FrameReplacementTable
+from repro.mcu.minios.replacement import FrameReplacementTable
 
 
 @dataclass
@@ -62,6 +62,19 @@ class MiniOs:
         self.table = FrameReplacementTable()
         self.placer = Placer(geometry, strategy=placement_strategy)
         self.stats = MiniOsStatistics()
+        # Optional OS services (e.g. the readback scrubber) registered by
+        # name.  Services survive reset(): they are part of the installed OS,
+        # not per-run state.
+        self._services: dict = {}
+
+    # -------------------------------------------------------------- services
+    def register_service(self, name: str, service) -> None:
+        """Install an OS service (the scrubber, a health monitor, ...)."""
+        self._services[name] = service
+
+    def service(self, name: str):
+        """The registered service called *name*, or ``None``."""
+        return self._services.get(name)
 
     # --------------------------------------------------------------- queries
     def is_resident(self, name: str) -> bool:

@@ -9,7 +9,7 @@ requests (input buffer + output buffer per outstanding call) can coexist.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.memory.errors import RamAllocationError
 from repro.memory.timing import MemoryTiming, RAM_TIMING

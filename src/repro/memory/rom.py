@@ -9,7 +9,7 @@ record-driven access path the microcontroller uses.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.memory.errors import RomFullError, RomLookupError
 from repro.memory.records import FunctionRecord, RecordTable

@@ -8,7 +8,7 @@ real driver would sit on top of the kernel's PCI layer.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.pci.bus import PciBus
 from repro.pci.device import PciDevice

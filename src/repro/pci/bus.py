@@ -9,11 +9,10 @@ phases + turnaround; bursts move ``bus_width_bytes`` per data phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.pci.config_space import PciConfigSpace
 from repro.pci.transaction import PciTransaction, TransactionKind
-from repro.sim.clock import Clock, ClockDomain
+from repro.sim.clock import Clock
 from repro.sim.trace import TraceRecorder
 
 

@@ -9,8 +9,7 @@ speedup experiment (E5) at small input sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
 
 from repro.pci.bus import PciBus
 from repro.pci.transaction import PciTransaction, TransactionKind

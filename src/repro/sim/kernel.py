@@ -21,7 +21,7 @@ from collections import deque
 from typing import Any, Deque, Generator, List, Optional
 
 from repro.sim.clock import Clock
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import EventQueue
 
 
 class SimulationError(RuntimeError):

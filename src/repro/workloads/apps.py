@@ -13,11 +13,11 @@ application space that motivated algorithm-agile co-processors:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List
 
 from repro.functions.bank import FunctionBank
 from repro.sim.rand import SeededRandom
-from repro.workloads.trace import Request, Trace
+from repro.workloads.trace import Trace
 from repro.workloads.generators import TraceGenerator
 
 

@@ -7,7 +7,7 @@ multiplier) so the traces remain realistic as the bank changes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.functions.bank import FunctionBank
 from repro.sim.rand import SeededRandom

@@ -224,6 +224,7 @@ def multi_tenant_trace(
     burst_speedup: float = 8.0,
     seed: int = 0,
     name: Optional[str] = None,
+    duration_ns: Optional[float] = None,
 ) -> FleetTrace:
     """An open-arrival request stream interleaving several tenants.
 
@@ -239,11 +240,21 @@ def multi_tenant_trace(
     Each arrival picks a tenant by weight, then the tenant's own stream picks
     the function and payload.  Everything derives from *seed* through
     :meth:`SeededRandom.fork`, so traces are byte-reproducible.
+
+    ``duration_ns`` switches to duration-bounded generation: arrivals stop at
+    the first one past the horizon instead of after a fixed count (*length*
+    then acts as a hard safety cap).  Reliability experiments (E10) think in
+    exposure time — fault processes are rates per second of simulated time —
+    so their traces are sized in seconds, not requests.  For the same seed,
+    the arrivals a duration-bounded trace shares with the count-bounded one
+    are byte-identical (the draw order does not change).
     """
     if not tenants:
         raise ValueError("need at least one tenant")
     if length < 0:
         raise ValueError("trace length cannot be negative")
+    if duration_ns is not None and duration_ns < 0:
+        raise ValueError("trace duration cannot be negative")
     if mean_interarrival_ns <= 0:
         raise ValueError("the mean inter-arrival time must be positive")
     if arrival not in ("poisson", "bursty"):
@@ -267,7 +278,7 @@ def multi_tenant_trace(
     requests: List[FleetRequest] = []
     now_ns = 0.0
     burst_remaining = 0
-    for _ in range(length):
+    while len(requests) < length:
         if arrival == "poisson":
             now_ns += arrival_rng.exponential(mean_interarrival_ns)
         else:
@@ -287,6 +298,8 @@ def multi_tenant_trace(
             else:
                 now_ns += arrival_rng.exponential(mean_interarrival_ns / burst_speedup)
             burst_remaining -= 1
+        if duration_ns is not None and now_ns > duration_ns:
+            break
         point = tenant_rng.uniform(0.0, 1.0)
         index = len(cumulative) - 1  # guards the point > last-edge rounding case
         for position, edge in enumerate(cumulative):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.builder import build_coprocessor
 from repro.core.card import CoprocessorCard
-from repro.core.exceptions import CoprocessorError, UnknownFunctionError
+from repro.core.exceptions import UnknownFunctionError
 from repro.core.host import build_host_system
 from repro.mcu.commands import (
     REG_COMMAND,

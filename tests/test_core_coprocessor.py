@@ -6,7 +6,6 @@ from repro.core.builder import build_coprocessor, build_default_coprocessor
 from repro.core.config import CoprocessorConfig, SMALL_CONFIG
 from repro.core.exceptions import UnknownFunctionError
 from repro.core.stats import CoprocessorStatistics
-from repro.functions.bank import build_small_bank
 
 
 class TestCoprocessorConfig:

@@ -1,0 +1,76 @@
+"""Cross-process byte-identity of the fault experiments.
+
+``SeededRandom.fork`` is process-stable (FNV-1a, not salted ``hash()``), so a
+fault environment — upset times, targets, kills, scrub schedules — must
+reproduce byte-identically in a fresh interpreter.  These tests actually
+spawn fresh interpreters and compare: one for the E10 cell machinery, one for
+the perf-smoke ``faults`` section, both at tiny sizes.  A same-process rerun
+would not catch salted-hash regressions; only a second process does.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_E10_SNIPPET = """
+import json, sys
+sys.path.insert(0, "src")
+sys.path.insert(0, ".")
+from benchmarks.bench_e10_reliability import build_trace, run_cell
+from repro.functions.bank import build_default_bank
+
+bank = build_default_bank()
+trace = build_trace(bank, duration_ns=2e6)
+fleet, stats = run_cell(bank, trace, "affinity", 10_000.0, 100_000.0, kill=True)
+print(repr(fleet.fingerprint()))
+print(json.dumps(fleet.fault_summary(), sort_keys=True))
+print(repr((stats.failovers, stats.hazard_completions, stats.heals_completed)))
+"""
+
+_SMOKE_SNIPPET = """
+import sys
+sys.path.insert(0, "src")
+sys.path.insert(0, "benchmarks")
+import perf_smoke
+
+results = perf_smoke.bench_faults(
+    upsets_per_round=4, scrub_rounds=2, fleet_cards=2, fleet_trace_length=16
+)
+sweep = results["scrub_sweep"]
+fleet = results["fault_fleet"]
+# Everything except the wall-clock rate fields must be process-invariant.
+print(repr((sweep["frames_checked"], sweep["detected"], sweep["corrected"],
+            sweep["uncorrectable"], sweep["final_time_ns"])))
+print(repr((fleet["events_dispatched"], fleet["final_time_ns"], fleet["completed"],
+            fleet["rejected"], fleet["failovers"], fleet["card_failures"],
+            fleet["hazard_completions"], fleet["scrub_detected"],
+            fleet["scrub_corrected"], fleet["schedule_digest"])))
+"""
+
+
+def run_snippet(snippet: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", snippet],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestCrossProcessDeterminism:
+    def test_e10_cell_is_byte_identical_across_processes(self):
+        first = run_snippet(_E10_SNIPPET)
+        second = run_snippet(_E10_SNIPPET)
+        assert first == second
+        assert first.strip()
+
+    def test_faults_smoke_fingerprints_are_byte_identical_across_processes(self):
+        first = run_snippet(_SMOKE_SNIPPET)
+        second = run_snippet(_SMOKE_SNIPPET)
+        assert first == second
+        assert first.strip()

@@ -1,0 +1,380 @@
+"""Fleet self-healing: card health, failover, heal preloads, scrub services.
+
+The load-bearing guarantees: requests on a killed card are never silently
+dropped (conservation against the FleetStatistics counters), dead cards are
+invisible to dispatch, degraded cards bounce misses to survivors, heal
+preloads restore residency, and everything — faults included — reproduces
+byte-identically.
+"""
+
+import pytest
+
+from repro.core.builder import build_fleet
+from repro.core.config import SMALL_CONFIG, CoprocessorConfig
+from repro.faults import FaultSpec
+from repro.fpga.errors import ConfigurationError
+from repro.functions.bank import build_default_bank, build_small_bank
+from repro.workloads.multitenant import default_tenant_mix, multi_tenant_trace
+
+WORKING_SET = ["sha1", "crc32", "fir16", "strmatch", "bitonic64", "parity32"]
+PRESSURE_CONFIG = CoprocessorConfig(
+    fabric_columns=8, fabric_rows=32, clb_rows_per_frame=8, seed=2005
+)
+
+
+@pytest.fixture(scope="module")
+def small_bank():
+    return build_small_bank()
+
+
+@pytest.fixture(scope="module")
+def default_bank():
+    return build_default_bank()
+
+
+def small_trace(bank, length=60, seed=3, mean_interarrival_ns=30_000.0):
+    specs = default_tenant_mix(bank, tenants=2, skew=1.2)
+    return multi_tenant_trace(
+        bank, specs, length=length, mean_interarrival_ns=mean_interarrival_ns, seed=seed
+    )
+
+
+def protected_fleet(bank, cards=3, seed=3, **kwargs):
+    return build_fleet(
+        cards=cards,
+        config=SMALL_CONFIG.with_overrides(seed=seed),
+        bank=bank,
+        policy="affinity",
+        queue_depth=8,
+        fault_tolerance=True,
+        **kwargs,
+    )
+
+
+class TestCardHealth:
+    def test_down_card_is_invisible_to_dispatch(self, small_bank):
+        fleet = protected_fleet(small_bank)
+        fleet.kill_card(1)
+        assert not fleet.cards[1].has_room
+        assert not fleet.cards[1].holds("crc32")
+        for _ in range(6):
+            card = fleet.policy.choose(small_trace(small_bank)[0], fleet.cards)
+            assert card.index != 1
+
+    def test_kill_is_idempotent_and_recorded(self, small_bank):
+        fleet = protected_fleet(small_bank)
+        assert fleet.kill_card(0)
+        assert not fleet.kill_card(0)
+        assert fleet.stats.card_failures == 1
+        assert fleet.cards[0].health == "down"
+        assert fleet.cards[0].down_since_ns is not None
+
+    def test_degraded_card_still_admissible_but_spread_avoids_it(self, small_bank):
+        fleet = protected_fleet(small_bank)
+        fleet.degrade_card(0, duration_ns=1e9)
+        assert fleet.cards[0].health == "degraded"
+        assert fleet.cards[0].has_room
+        request = small_trace(small_bank)[0]
+        # Nothing resident anywhere: the cold load must avoid the wedged card.
+        chosen = fleet.policy.choose(request, fleet.cards)
+        assert chosen.index != 0
+
+    def test_wedged_port_miss_preserves_resident_functions(self, small_bank):
+        """A miss on a degraded card must fail *before* evicting residents."""
+        fleet = protected_fleet(small_bank, cards=1)
+        card = fleet.cards[0]
+        card.driver.preload("crc32")
+        resident_before = card.resident_functions()
+        assert resident_before
+        fleet.degrade_card(0, duration_ns=1e9)
+        copro = card.driver.coprocessor
+        with pytest.raises(ConfigurationError):
+            copro.mcu.ensure_loaded("sha1" if "sha1" in copro.bank else "adder8")
+        assert card.resident_functions() == resident_before
+
+    def test_failover_reaches_every_untried_card(self, small_bank):
+        """The retry exclusion must be cumulative: with two of three ports
+        wedged, requests end up served by the one healthy card, not rejected
+        after bouncing between the wedged pair."""
+        trace = small_trace(small_bank, length=30, mean_interarrival_ns=50_000.0)
+        fleet = build_fleet(
+            cards=3,
+            config=SMALL_CONFIG.with_overrides(seed=3),
+            bank=small_bank,
+            policy="round_robin",
+            queue_depth=8,
+            fault_tolerance=True,
+        )
+        fleet.degrade_card(0, duration_ns=1e12)
+        fleet.degrade_card(1, duration_ns=1e12)
+        stats = fleet.run(trace)
+        assert stats.completed + stats.rejected == stats.arrivals
+        # Misses bounced off the wedged cards but always landed on card2.
+        assert stats.completed == stats.arrivals
+        assert stats.per_card_dispatched["card2"] > 0
+
+    def test_stall_port_faults_delay_without_degrading(self, small_bank):
+        """port_fault_kind='stall': reconfigs slow down, health never changes."""
+        trace = small_trace(small_bank, length=60, mean_interarrival_ns=10_000.0)
+        fleet = protected_fleet(
+            small_bank,
+            cards=2,
+            fault_spec=FaultSpec(
+                port_fault_rate_per_s=2_000.0,
+                port_fault_duration_ns=20_000.0,
+                port_fault_kind="stall",
+                seed=31,
+            ),
+        )
+        stats = fleet.run(trace)
+        assert stats.completed == stats.arrivals
+        assert stats.card_degradations == 0
+        assert all(card.health == "up" for card in fleet.cards)
+        assert fleet.injector.port_faults > 0
+        # A stall is consumed by the next configuration session; pending
+        # stalls on cards that never reconfigured again are drained here.
+        for card in fleet.cards:
+            copro = card.driver.coprocessor
+            if copro.device.port._pending_stall_ns > 0:
+                name = copro.bank.names()[0]
+                if copro.is_loaded(name):
+                    copro.evict(name)
+                copro.preload(name)
+        stalled = sum(
+            card.driver.coprocessor.device.port.stats.stalled_time_ns
+            for card in fleet.cards
+        )
+        assert stalled > 0
+
+    def test_degrade_then_recover_restores_health(self, small_bank):
+        fleet = protected_fleet(small_bank)
+        fleet.degrade_card(0, duration_ns=50_000.0)
+        assert fleet.cards[0].driver.coprocessor.device.port.wedged
+        fleet.simulator.run()
+        assert fleet.cards[0].health == "up"
+        assert not fleet.cards[0].driver.coprocessor.device.port.wedged
+        assert fleet.stats.card_recoveries == 1
+
+
+class TestKilledCardConservation:
+    @pytest.mark.parametrize("kill_ns", [0.0, 200_000.0, 600_000.0])
+    def test_no_request_is_silently_dropped(self, small_bank, kill_ns):
+        trace = small_trace(small_bank, length=80, mean_interarrival_ns=15_000.0)
+        fleet = protected_fleet(
+            small_bank,
+            fault_spec=FaultSpec(card_kill_times_ns=((kill_ns, 0),), seed=11),
+        )
+        stats = fleet.run(trace)
+        assert fleet.cards[0].health == "down"
+        assert stats.completed + stats.rejected == stats.arrivals == len(trace)
+        # Every completion ran on a surviving card.
+        assert stats.per_card_dispatched.get("card0", 0) >= 0
+        summaries = {row["card"]: row for row in fleet.card_summaries()}
+        served_alive = sum(
+            row["served"] for name, row in summaries.items() if name != "card0"
+        )
+        assert served_alive + summaries["card0"]["served"] >= stats.completed
+
+    def test_mid_run_kill_fails_over_queued_requests(self, small_bank):
+        # Hammer one card hard so its queue is non-empty when it dies.
+        trace = small_trace(small_bank, length=120, mean_interarrival_ns=2_000.0)
+        fleet = protected_fleet(
+            small_bank,
+            cards=2,
+            fault_spec=FaultSpec(card_kill_times_ns=((100_000.0, 0),), seed=11),
+        )
+        stats = fleet.run(trace)
+        assert stats.completed + stats.rejected == stats.arrivals
+        assert stats.failovers > 0
+        assert stats.card_failures == 1
+
+    def test_all_ports_wedged_terminates_with_rejections(self, small_bank):
+        """Failover must not livelock between wedged cards.
+
+        With every configuration port wedged, a cold request fails on any
+        card it reaches; the retry must exclude the failed card and cap the
+        bounce count (queue hand-offs cost zero simulated time, so an
+        uncapped retry would spin the kernel forever at one instant).
+        """
+        trace = small_trace(small_bank, length=20)
+        fleet = protected_fleet(small_bank, cards=2)
+        for index in range(2):
+            fleet.degrade_card(index, duration_ns=1e12)
+        stats = fleet.run(trace)
+        assert stats.completed + stats.rejected == stats.arrivals
+        assert stats.rejected > 0
+        assert stats.failovers > 0
+        # Bounces are capped at one attempt per card.
+        assert stats.failovers <= stats.arrivals * len(fleet.cards)
+
+    def test_all_cards_down_rejects_rather_than_hangs(self, small_bank):
+        trace = small_trace(small_bank, length=30)
+        fleet = protected_fleet(
+            small_bank,
+            cards=2,
+            fault_spec=FaultSpec(
+                card_kill_times_ns=((0.0, 0), (0.0, 1)), seed=11
+            ),
+        )
+        stats = fleet.run(trace)
+        assert stats.completed + stats.rejected == stats.arrivals
+        assert stats.rejected > 0
+
+
+class TestHealing:
+    def test_hot_functions_reresidentised_on_survivors(self, default_bank):
+        trace = multi_tenant_trace(
+            default_bank.subset(WORKING_SET),
+            default_tenant_mix(default_bank.subset(WORKING_SET), tenants=4, skew=1.2),
+            length=200,
+            mean_interarrival_ns=100_000.0,
+            seed=7,
+        )
+        fleet = build_fleet(
+            cards=3,
+            config=PRESSURE_CONFIG,
+            bank=default_bank,
+            functions=WORKING_SET,
+            policy="affinity",
+            fault_tolerance=True,
+            fault_spec=FaultSpec(card_kill_times_ns=((8_000_000.0, 0),), seed=9),
+        )
+        stats = fleet.run(trace)
+        assert stats.card_failures == 1
+        assert stats.heal_orders > 0
+        assert stats.heals_completed > 0
+        assert stats.mttr_ns > 0
+        assert stats.completed + stats.rejected == stats.arrivals
+        # Healed functions actually live on surviving fabric now.
+        survivors = [card for card in fleet.cards if card.health != "down"]
+        resident_anywhere = set()
+        for card in survivors:
+            resident_anywhere.update(card.resident_functions())
+        assert resident_anywhere
+
+    def test_availability_reflects_downtime(self, small_bank):
+        trace = small_trace(small_bank, length=80, mean_interarrival_ns=15_000.0)
+        fleet = protected_fleet(
+            small_bank,
+            fault_spec=FaultSpec(card_kill_times_ns=((100_000.0, 0),), seed=5),
+        )
+        fleet.run(trace)
+        assert 0.0 < fleet.availability() < 1.0
+        summary = fleet.fault_summary()
+        assert summary["cards_down"] == 1
+        assert summary["availability"] == fleet.availability()
+
+    def test_fully_dead_fleet_does_not_report_perfect_availability(self, small_bank):
+        """A fleet that completed nothing must report its downtime, not 1.0."""
+        trace = small_trace(small_bank, length=30)
+        fleet = protected_fleet(
+            small_bank,
+            cards=2,
+            fault_spec=FaultSpec(card_kill_times_ns=((0.0, 0), (0.0, 1)), seed=5),
+        )
+        stats = fleet.run(trace)
+        assert stats.completed == 0 and stats.rejected == stats.arrivals
+        assert fleet.availability() < 0.5
+
+
+class TestScrubService:
+    def test_periodic_scrubbing_repairs_and_run_terminates(self, small_bank):
+        trace = small_trace(small_bank, length=80, mean_interarrival_ns=20_000.0)
+        fleet = protected_fleet(
+            small_bank,
+            scrub_period_ns=50_000.0,
+            fault_spec=FaultSpec(
+                process="targeted", upset_rate_per_s=2_000.0, seed=13
+            ),
+        )
+        stats = fleet.run(trace)
+        summary = fleet.fault_summary()
+        assert stats.completed + stats.rejected == stats.arrivals
+        assert summary["scrub_passes"] > 0
+        assert summary["scrub_detected"] > 0
+        assert summary["scrub_detected"] == summary["scrub_corrected"]
+        assert summary["scrub_uncorrectable"] == 0
+
+    def test_scrubbing_consumes_card_time(self, small_bank):
+        trace = small_trace(small_bank, length=40)
+        quiet = protected_fleet(small_bank, seed=3)
+        scrubbed = protected_fleet(small_bank, seed=3, scrub_period_ns=20_000.0)
+        quiet_stats = quiet.run(trace)
+        scrub_stats = scrubbed.run(trace)
+        assert scrubbed.fault_summary()["scrub_frames_checked"] > 0
+        # Same requests completed, but scrub work exists on the busy meter.
+        assert scrub_stats.completed == quiet_stats.completed
+        assert sum(c.busy_ns for c in scrubbed.cards) > sum(
+            c.busy_ns for c in quiet.cards
+        )
+
+    def test_tight_scrubbing_eliminates_silent_corruption(self, small_bank):
+        trace = small_trace(small_bank, length=100, mean_interarrival_ns=40_000.0)
+        spec = FaultSpec(process="targeted", upset_rate_per_s=1_000.0, seed=21)
+
+        def run(scrub_period_ns):
+            fleet = protected_fleet(
+                small_bank,
+                scrub_period_ns=scrub_period_ns,
+                scrub_frames_per_order=64,
+                fault_spec=spec,
+            )
+            stats = fleet.run(trace)
+            return stats.hazard_completions
+
+        loose = run(5_000_000.0)
+        tight = run(5_000.0)
+        assert tight <= loose
+
+    def test_demand_scrub_guarantees_zero_silent_corruption(self, small_bank):
+        """scrub_period_ns=0 (readback-before-use) closes the hazard window."""
+        trace = small_trace(small_bank, length=120, mean_interarrival_ns=20_000.0)
+        fleet = protected_fleet(
+            small_bank,
+            scrub_period_ns=0,
+            fault_spec=FaultSpec(
+                process="targeted", upset_rate_per_s=5_000.0, seed=23
+            ),
+        )
+        stats = fleet.run(trace)
+        assert stats.hazard_completions == 0
+        assert fleet.fault_summary()["scrub_detected"] > 0
+        # Every request paid a region check: scrub work scales with traffic.
+        assert fleet.fault_summary()["scrub_frames_checked"] >= stats.completed
+
+
+class TestFaultDeterminism:
+    def test_identical_fault_runs_have_identical_fingerprints(self, small_bank):
+        trace = small_trace(small_bank, length=60, mean_interarrival_ns=10_000.0)
+
+        def run():
+            fleet = protected_fleet(
+                small_bank,
+                scrub_period_ns=40_000.0,
+                fault_spec=FaultSpec(
+                    process="burst",
+                    burst_bits=3,
+                    upset_rate_per_s=1_500.0,
+                    port_fault_rate_per_s=200.0,
+                    port_fault_duration_ns=100_000.0,
+                    card_kill_times_ns=((500_000.0, 2),),
+                    seed=17,
+                ),
+            )
+            fleet.run(trace)
+            return fleet.fingerprint(), fleet.fault_summary()
+
+        first = run()
+        second = run()
+        assert first == second
+
+    def test_faults_change_the_schedule_digest(self, small_bank):
+        trace = small_trace(small_bank, length=60, mean_interarrival_ns=10_000.0)
+        clean = protected_fleet(small_bank)
+        faulty = protected_fleet(
+            small_bank,
+            fault_spec=FaultSpec(card_kill_times_ns=((100_000.0, 0),), seed=3),
+        )
+        clean.run(trace)
+        faulty.run(trace)
+        assert clean.fingerprint() != faulty.fingerprint()

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.fpga.executor import NetlistExecutor
 from repro.functions.base import CallableFunction, FunctionCategory, FunctionSpec
-from repro.functions.bank import FunctionBank, build_default_bank, build_small_bank
+from repro.functions.bank import FunctionBank, build_small_bank
 from repro.functions.misc.logic import AdderFunction, ParityFunction, PopcountFunction
 
 

@@ -11,7 +11,7 @@ from repro.baselines import FullReconfigEngine, HostOnlyEngine, StaticFixedEngin
 from repro.core.builder import build_coprocessor, build_host_driver
 from repro.core.config import CoprocessorConfig, SMALL_CONFIG
 from repro.core.ondemand import TraceRunner
-from repro.functions.bank import build_default_bank, build_small_bank
+from repro.functions.bank import build_small_bank
 from repro.workloads import ipsec_gateway_trace, round_robin_trace, zipf_trace
 
 

@@ -6,9 +6,8 @@ from repro.bitstream.codecs import get_codec
 from repro.bitstream.window import WindowedCompressor
 from repro.fpga.bitgen import BitstreamGenerator
 from repro.fpga.device import FPGADevice
-from repro.fpga.frame import FrameRegion
 from repro.fpga.placer import Placer
-from repro.functions.misc.logic import AdderFunction, ParityFunction
+from repro.functions.misc.logic import AdderFunction
 from repro.mcu.commands import Command, CommandError, CommandKind
 from repro.mcu.config_module import ConfigurationModule
 from repro.mcu.data_modules import DataInputModule, OutputCollectionModule

@@ -55,6 +55,43 @@ class TestSectionsRunTiny:
         avoided = results["reconfigs_avoided_by_affinity"]
         assert avoided is None or avoided >= 0
 
+    def test_faults_section_tiny(self):
+        results = perf_smoke.bench_faults(
+            upsets_per_round=6, scrub_rounds=2, fleet_cards=2, fleet_trace_length=24
+        )
+        assert set(results) == {"scrub_sweep", "fault_fleet"}
+        sweep = results["scrub_sweep"]
+        assert sweep["frames_per_s"] > 0
+        assert sweep["frames_checked"] > 0
+        assert sweep["detected"] == sweep["corrected"]
+        assert sweep["uncorrectable"] == 0
+        fleet = results["fault_fleet"]
+        assert fleet["completed"] + fleet["rejected"] == 24
+        assert fleet["card_failures"] == 1
+        assert fleet["requests_per_s"] > 0
+        assert len(fleet["schedule_digest"]) == 16
+
+    def test_faults_fingerprints_are_deterministic(self):
+        first = perf_smoke.bench_faults(
+            upsets_per_round=4, scrub_rounds=2, fleet_cards=2, fleet_trace_length=16
+        )
+        second = perf_smoke.bench_faults(
+            upsets_per_round=4, scrub_rounds=2, fleet_cards=2, fleet_trace_length=16
+        )
+        assert (
+            first["scrub_sweep"]["final_time_ns"]
+            == second["scrub_sweep"]["final_time_ns"]
+        )
+        assert first["scrub_sweep"]["detected"] == second["scrub_sweep"]["detected"]
+        assert (
+            first["fault_fleet"]["schedule_digest"]
+            == second["fault_fleet"]["schedule_digest"]
+        )
+        assert (
+            first["fault_fleet"]["final_time_ns"]
+            == second["fault_fleet"]["final_time_ns"]
+        )
+
     def test_cluster_fingerprints_are_deterministic(self):
         first = perf_smoke.bench_cluster(cards=2, trace_length=16, tenants=2)
         second = perf_smoke.bench_cluster(cards=2, trace_length=16, tenants=2)

@@ -6,7 +6,6 @@ device, bit-stream download/reload consistency, and end-to-end output
 equivalence between the co-processor and the reference behaviours.
 """
 
-import pytest
 from hypothesis import given, settings, HealthCheck
 from hypothesis import strategies as st
 
