@@ -608,6 +608,168 @@ def bench_faults(
     return results
 
 
+def bench_rebalance(
+    fleet_cards: int = 3,
+    fleet_trace_length: int = 120,
+    defrag_cycles: int = 3,
+) -> dict:
+    """Rebalance layer: defrag compaction rate plus a migration-fleet fingerprint.
+
+    Two sub-sections:
+
+    * ``defrag_sweep`` — wall-clock compaction rate (frames relocated per
+      second) on a card whose configuration memory is repeatedly fragmented
+      by a deterministic load/evict pattern and re-compacted by the
+      defragmenter, with the per-cycle move counts, fragmentation indices and
+      final card time as the fingerprint.
+    * ``rebalance_fleet`` — a small fleet warmed with its whole working set
+      on card 0 (maximal residency skew) served under the affinity policy
+      with the rebalancer enabled: kernel event count, final time,
+      completion/migration counters, byte-diff count (must be 0) and the
+      schedule digest pin the whole migration schedule byte for byte.
+    """
+    from repro.core.builder import build_coprocessor, build_fleet
+    from repro.core.config import SMALL_CONFIG
+    from repro.functions.bank import build_small_bank
+    from repro.workloads.multitenant import default_tenant_mix, multi_tenant_trace
+
+    results: dict = {}
+
+    # ----- defrag sweep -----------------------------------------------------
+    def run_sweep():
+        copro = build_coprocessor(
+            config=SMALL_CONFIG.with_overrides(seed=23), bank=build_small_bank()
+        )
+        copro.enable_defrag()
+        names = copro.bank.names()
+        fingerprint = []
+        for _ in range(defrag_cycles):
+            # Fragment: fill the fabric, then punch holes between residents.
+            for name in names:
+                copro.preload(name)
+            for name in names[::2]:
+                copro.evict(name)
+            defragmenter = copro.defragmenter
+            before = defragmenter.fragmentation()
+            result = copro.defrag()
+            fingerprint.append(
+                (result.moves, result.frames_moved, round(before, 6),
+                 round(result.fragmentation_after, 6))
+            )
+            for name in names[1::2]:
+                copro.evict(name)
+        return tuple(fingerprint), copro.clock.now
+
+    run_sweep()  # warm the bitstream/netlist caches
+    fingerprint = None
+    reps = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        while True:
+            run_print = run_sweep()
+            reps += 1
+            if fingerprint is None:
+                fingerprint = run_print
+            elif run_print != fingerprint:
+                raise AssertionError(
+                    f"non-deterministic defrag sweep: {run_print} != {fingerprint}"
+                )
+            elapsed = time.perf_counter() - start
+            if elapsed >= _MIN_SECONDS:
+                break
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    cycles, final_time = fingerprint
+    frames_moved = sum(entry[1] for entry in cycles)
+    results["defrag_sweep"] = {
+        "defrag_cycles": defrag_cycles,
+        "moves": sum(entry[0] for entry in cycles),
+        "frames_moved": frames_moved,
+        "frag_before_first": cycles[0][2],
+        "frag_after_last": cycles[-1][3],
+        "final_time_ns": final_time,
+        "frames_moved_per_s": round(frames_moved * reps / elapsed, 1),
+    }
+
+    # ----- rebalance-fleet schedule fingerprint -----------------------------
+    bank = build_small_bank()
+    trace = multi_tenant_trace(
+        bank,
+        default_tenant_mix(bank, tenants=2, skew=1.2),
+        length=fleet_trace_length,
+        mean_interarrival_ns=5_000.0,
+        seed=23,
+    )
+
+    def run_fleet():
+        fleet = build_fleet(
+            cards=fleet_cards,
+            config=SMALL_CONFIG.with_overrides(seed=23),
+            bank=bank,
+            policy="affinity",
+            queue_depth=8,
+            rebalance_period_ns=40_000.0,
+            rebalance_min_queue_skew=6,
+        )
+        # Maximal residency skew: the whole working set on card 0.
+        for name in bank.names():
+            fleet.cards[0].driver.preload(name)
+        start = time.perf_counter()
+        stats = fleet.run(trace)
+        elapsed = time.perf_counter() - start
+        return fleet, stats, fleet.rebalance_summary(), elapsed
+
+    run_fleet()  # warm-up
+    fingerprint = None
+    best_rate = 0.0
+    elapsed_total = 0.0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while elapsed_total < _MIN_SECONDS:
+            fleet, stats, summary, elapsed = run_fleet()
+            elapsed_total += elapsed
+            run_print = (
+                fleet.simulator.events_dispatched,
+                fleet.clock.now,
+                stats.completed,
+                stats.rejected,
+                summary["migration_orders"],
+                summary["migrations_completed"],
+                summary["migrations_failed"],
+                summary["migration_byte_diffs"],
+                stats.schedule_digest()[:16],
+            )
+            if fingerprint is None:
+                fingerprint = run_print
+            elif run_print != fingerprint:
+                raise AssertionError(
+                    f"non-deterministic rebalance fleet: {run_print} != {fingerprint}"
+                )
+            best_rate = max(best_rate, stats.completed / elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    results["rebalance_fleet"] = {
+        "cards": fleet_cards,
+        "requests": fleet_trace_length,
+        "events_dispatched": fingerprint[0],
+        "final_time_ns": fingerprint[1],
+        "completed": fingerprint[2],
+        "rejected": fingerprint[3],
+        "migration_orders": fingerprint[4],
+        "migrations_completed": fingerprint[5],
+        "migrations_failed": fingerprint[6],
+        "migration_byte_diffs": fingerprint[7],
+        "schedule_digest": fingerprint[8],
+        "requests_per_s": round(best_rate, 1),
+    }
+    return results
+
+
 def _warm_up(seconds: float = 0.3) -> None:
     """Spin briefly so frequency governors reach steady state before timing."""
     deadline = time.perf_counter() + seconds
@@ -623,6 +785,7 @@ SECTIONS = {
     "device": (bench_device, "BENCH_device.json"),
     "cluster": (bench_cluster, "BENCH_cluster.json"),
     "faults": (bench_faults, "BENCH_faults.json"),
+    "rebalance": (bench_rebalance, "BENCH_rebalance.json"),
 }
 
 #: substrings marking higher-is-better rate fields (tolerance-compared).

@@ -22,17 +22,34 @@ from repro.cluster.dispatch import (
     RoundRobinPolicy,
     build_dispatch_policy,
 )
-from repro.cluster.fleet import Fleet, FleetCard, HealOrder, RetryEnvelope, ScrubOrder
+from repro.cluster.fleet import (
+    DefragOrder,
+    Fleet,
+    FleetCard,
+    HealOrder,
+    MigrateOrder,
+    ReleaseOrder,
+    RestoreOrder,
+    RetryEnvelope,
+    ScrubOrder,
+)
+from repro.cluster.rebalance import MigrationOrder, Rebalancer
 from repro.cluster.stats import FleetStatistics
 
 __all__ = [
     "POLICIES",
     "ConfigAffinityPolicy",
+    "DefragOrder",
     "DispatchPolicy",
     "Fleet",
     "FleetCard",
     "FleetStatistics",
     "HealOrder",
+    "MigrateOrder",
+    "MigrationOrder",
+    "Rebalancer",
+    "ReleaseOrder",
+    "RestoreOrder",
     "RetryEnvelope",
     "ScrubOrder",
     "LeastOutstandingPolicy",

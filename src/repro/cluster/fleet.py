@@ -73,6 +73,68 @@ class HealOrder:
         self.killed_at_ns = killed_at_ns
 
 
+class DefragOrder:
+    """Internal card-queue item: run one bounded defragmentation pass."""
+
+    __slots__ = ("max_moves",)
+
+    def __init__(self, max_moves: Optional[int]) -> None:
+        self.max_moves = max_moves
+
+
+class MigrateOrder:
+    """Internal card-queue item (source side): capture a function for migration."""
+
+    __slots__ = ("function", "dest_index", "ordered_ns")
+
+    def __init__(self, function: str, dest_index: int, ordered_ns: float) -> None:
+        self.function = function
+        self.dest_index = dest_index
+        self.ordered_ns = ordered_ns
+
+
+class RestoreOrder:
+    """Internal card-queue item (destination side): restore a captured image."""
+
+    __slots__ = ("function", "blob", "source_index", "frames", "ordered_ns")
+
+    def __init__(
+        self,
+        function: str,
+        blob: bytes,
+        source_index: int,
+        frames: int,
+        ordered_ns: float,
+    ) -> None:
+        self.function = function
+        self.blob = blob
+        self.source_index = source_index
+        self.frames = frames
+        self.ordered_ns = ordered_ns
+
+
+class ReleaseOrder:
+    """Internal card-queue item (source side): release a migrated function."""
+
+    __slots__ = ("function", "dest_name", "blob_bytes", "frames", "ordered_ns", "byte_identical")
+
+    def __init__(
+        self,
+        function: str,
+        dest_name: str,
+        blob_bytes: int,
+        frames: int,
+        ordered_ns: float,
+        byte_identical: bool,
+    ) -> None:
+        self.function = function
+        self.dest_name = dest_name
+        self.blob_bytes = blob_bytes
+        self.frames = frames
+        self.ordered_ns = ordered_ns
+        self.byte_identical = byte_identical
+
+
 class RetryEnvelope:
     """Internal card-queue item: a failed-over request plus the cards tried.
 
@@ -113,6 +175,8 @@ class FleetCard:
         self.serve_failures = 0
         #: True while a scrub order is queued/in service (one at a time).
         self.scrub_pending = False
+        #: True while a defrag order is queued/in service (one at a time).
+        self.defrag_pending = False
 
     # --------------------------------------------------------------- queries
     @property
@@ -174,6 +238,42 @@ class FleetCard:
         self.busy_ns += elapsed
         return elapsed
 
+    def capture_timed(self, function: str) -> tuple:
+        """CAPTURE *function* through the PCI path; returns ``(blob, Δt)``."""
+        clock = self.driver.clock
+        before = clock.now
+        blob = self.driver.capture_function(function)
+        elapsed = clock.now - before
+        self.busy_ns += elapsed
+        return blob, elapsed
+
+    def restore_timed(self, function: str, blob: bytes) -> float:
+        """RESTORE *function* from a migration blob; returns the card-local Δt."""
+        clock = self.driver.clock
+        before = clock.now
+        self.driver.restore_function(function, blob)
+        elapsed = clock.now - before
+        self.busy_ns += elapsed
+        return elapsed
+
+    def evict_timed(self, function: str) -> float:
+        """EVICT *function* through the PCI path; returns the card-local Δt."""
+        clock = self.driver.clock
+        before = clock.now
+        self.driver.evict(function)
+        elapsed = clock.now - before
+        self.busy_ns += elapsed
+        return elapsed
+
+    def defrag_timed(self, max_moves: Optional[int]) -> float:
+        """Run one DEFRAG pass on the card; returns the card-local Δt."""
+        clock = self.driver.clock
+        before = clock.now
+        self.driver.defrag_card(max_moves if max_moves is not None else 0)
+        elapsed = clock.now - before
+        self.busy_ns += elapsed
+        return elapsed
+
 
 class Fleet:
     """N co-processor cards behind a dispatcher on one simulation kernel."""
@@ -219,6 +319,14 @@ class Fleet:
         self.heal_on_failure = False
         self.heal_limit = 4
         self.injector = None
+        # Rebalancing / defragmentation (PR 5; off until enabled).
+        self.rebalancer = None
+        self.rebalance_period_ns: Optional[float] = None
+        self.defrag_period_ns: Optional[float] = None
+        self.defrag_moves_per_order: Optional[int] = None
+        #: Functions with a migration in flight (ordered, not yet released or
+        #: failed) — the planner must not order the same function twice.
+        self.migrating: set = set()
         #: Named kernel services (scrub timers, fault processes): factories
         #: producing fresh generators; re-spawned by run() when finished.
         self._services: List[Tuple[str, Callable]] = []
@@ -254,6 +362,141 @@ class Fleet:
                         yield Timeout(elapsed)
                 card.outstanding -= 1
                 card.scrub_pending = False
+                continue
+            if item.__class__ is DefragOrder:
+                if card.health != "down":
+                    clock_before = card.driver.clock.now
+                    try:
+                        elapsed = card.defrag_timed(item.max_moves)
+                    except CoprocessorError:
+                        # The port wedged mid-pass: functions are intact where
+                        # they were, but the compaction time already spent on
+                        # the card's clock is real.
+                        elapsed = card.driver.clock.now - clock_before
+                        card.busy_ns += elapsed
+                    if elapsed > 0:
+                        yield Timeout(elapsed)
+                card.outstanding -= 1
+                card.defrag_pending = False
+                continue
+            if item.__class__ is MigrateOrder:
+                handed_off = False
+                function = item.function
+                dest = self.cards[item.dest_index]
+                if card.health == "down" or not card.driver.card.is_resident(function):
+                    self.stats.record_migration_failed(
+                        function, card.name, "source-lost", self.clock.now
+                    )
+                else:
+                    frames = len(card.driver.coprocessor.device.region_of(function))
+                    clock_before = card.driver.clock.now
+                    try:
+                        blob, elapsed = card.capture_timed(function)
+                    except CoprocessorError:
+                        failed_ns = card.driver.clock.now - clock_before
+                        card.busy_ns += failed_ns
+                        if failed_ns > 0:
+                            yield Timeout(failed_ns)
+                        self.stats.record_migration_failed(
+                            function, card.name, "capture-failed", self.clock.now
+                        )
+                    else:
+                        if elapsed > 0:
+                            yield Timeout(elapsed)
+                        if dest.health == "down":
+                            self.stats.record_migration_failed(
+                                function, dest.name, "dest-down", self.clock.now
+                            )
+                        else:
+                            dest.outstanding += 1
+                            dest.queue.put(
+                                RestoreOrder(
+                                    function, blob, card.index, frames, item.ordered_ns
+                                )
+                            )
+                            handed_off = True
+                card.outstanding -= 1
+                if not handed_off:
+                    self.migrating.discard(function)
+                continue
+            if item.__class__ is RestoreOrder:
+                function = item.function
+                restored = False
+                if card.health == "down":
+                    self.stats.record_migration_failed(
+                        function, card.name, "dest-died", self.clock.now
+                    )
+                else:
+                    clock_before = card.driver.clock.now
+                    try:
+                        elapsed = card.restore_timed(function, item.blob)
+                    except CoprocessorError:
+                        # Wedged port or capacity on the destination: the
+                        # function is still resident (and serving) on the
+                        # source, so a failed restore costs time, not service.
+                        failed_ns = card.driver.clock.now - clock_before
+                        card.busy_ns += failed_ns
+                        if failed_ns > 0:
+                            yield Timeout(failed_ns)
+                        self.stats.record_migration_failed(
+                            function, card.name, "restore-failed", self.clock.now
+                        )
+                    else:
+                        if elapsed > 0:
+                            yield Timeout(elapsed)
+                        restored = True
+                card.outstanding -= 1
+                if not restored:
+                    self.migrating.discard(function)
+                    continue
+                byte_identical = self._blob_matches_readback(card, function, item.blob)
+                source = self.cards[item.source_index]
+                if source.health != "down" and source.driver.card.is_resident(function):
+                    source.outstanding += 1
+                    source.queue.put(
+                        ReleaseOrder(
+                            function,
+                            card.name,
+                            len(item.blob),
+                            item.frames,
+                            item.ordered_ns,
+                            byte_identical,
+                        )
+                    )
+                else:
+                    # The source died (or already lost the frames) while the
+                    # image was in flight — the restore itself completes the
+                    # migration; there is nothing left to release.
+                    self.migrating.discard(function)
+                    self.stats.record_migration(
+                        function,
+                        source.name,
+                        card.name,
+                        item.ordered_ns,
+                        self.clock.now,
+                        item.frames,
+                        len(item.blob),
+                        byte_identical,
+                    )
+                continue
+            if item.__class__ is ReleaseOrder:
+                function = item.function
+                if card.health != "down" and card.driver.card.is_resident(function):
+                    elapsed = card.evict_timed(function)
+                    if elapsed > 0:
+                        yield Timeout(elapsed)
+                card.outstanding -= 1
+                self.migrating.discard(function)
+                self.stats.record_migration(
+                    function,
+                    card.name,
+                    item.dest_name,
+                    item.ordered_ns,
+                    self.clock.now,
+                    item.frames,
+                    item.blob_bytes,
+                    item.byte_identical,
+                )
                 continue
             tried = frozenset()
             if item.__class__ is RetryEnvelope:
@@ -446,6 +689,145 @@ class Fleet:
                         f"{card.name}-scrub",
                         lambda card=card: self._scrub_service(card),
                     )
+
+    # ---------------------------------------------------------- rebalancing
+    def enable_rebalancing(
+        self,
+        period_ns: float,
+        min_queue_skew: int = 4,
+        min_frame_skew: int = 4,
+        max_orders_per_cycle: int = 2,
+        keep_resident: int = 1,
+        cooldown_ns: Optional[float] = None,
+    ):
+        """Start the fleet's migration-planning service.
+
+        Every *period_ns* the :class:`~repro.cluster.rebalance.Rebalancer`
+        inspects queue depths and configuration residency and, when the fleet
+        is skewed, orders MIGRATE work (capture → transfer → restore →
+        release) through the card queues.  ``cooldown_ns`` defaults to ten
+        periods, so one function migrates at most once per ten cycles.
+        Returns the rebalancer.
+        """
+        if period_ns <= 0:
+            raise ValueError("the rebalance period must be positive")
+        from repro.cluster.rebalance import Rebalancer
+
+        self.rebalancer = Rebalancer(
+            min_queue_skew=min_queue_skew,
+            min_frame_skew=min_frame_skew,
+            max_orders_per_cycle=max_orders_per_cycle,
+            keep_resident=keep_resident,
+            cooldown_ns=10.0 * period_ns if cooldown_ns is None else cooldown_ns,
+        )
+        self.rebalance_period_ns = period_ns
+        self.add_service("fleet-rebalance", self._rebalance_service)
+        return self.rebalancer
+
+    def _rebalance_service(self):
+        """Plan and enqueue migrations once per period (idle-terminating)."""
+        period = self.rebalance_period_ns
+        while True:
+            yield Timeout(period)
+            if self.is_idle:
+                return
+            if self.rebalancer is None:
+                return
+            for order in self.rebalancer.plan(self):
+                source = self.cards[order.source_index]
+                if source.health == "down" or not source.holds(order.function):
+                    continue
+                self.migrating.add(order.function)
+                source.outstanding += 1
+                self.stats.record_migration_order(
+                    order.function,
+                    source.name,
+                    self.cards[order.dest_index].name,
+                    self.clock.now,
+                )
+                source.queue.put(
+                    MigrateOrder(order.function, order.dest_index, self.clock.now)
+                )
+
+    def enable_defrag(
+        self,
+        period_ns: Optional[float] = None,
+        moves_per_order: Optional[int] = 1,
+    ) -> None:
+        """Install the defragmenter on every card (optionally as a service).
+
+        With *period_ns* set, each card gets a periodic kernel service that
+        enqueues one bounded :class:`DefragOrder` per period — compaction
+        steals card time through the same bounded queue as traffic, exactly
+        like scrubbing.  Without it, defragmentation only runs when the host
+        issues DEFRAG explicitly.
+        """
+        if moves_per_order is not None and moves_per_order <= 0:
+            raise ValueError("a defrag order must allow at least one move")
+        for card in self.cards:
+            card.driver.coprocessor.enable_defrag()
+        if period_ns is not None:
+            if period_ns <= 0:
+                raise ValueError("the defrag period must be positive")
+            self.defrag_period_ns = period_ns
+            self.defrag_moves_per_order = moves_per_order
+            for card in self.cards:
+                self.add_service(
+                    f"{card.name}-defrag",
+                    lambda card=card: self._defrag_service(card),
+                )
+
+    def _defrag_service(self, card: FleetCard):
+        """Enqueue one defrag order per period (skips while one is pending)."""
+        period = self.defrag_period_ns
+        while True:
+            yield Timeout(period)
+            if self.is_idle:
+                return
+            if card.health == "down" or card.defrag_pending:
+                continue
+            card.defrag_pending = True
+            card.outstanding += 1
+            card.queue.put(DefragOrder(self.defrag_moves_per_order))
+
+    @staticmethod
+    def _blob_matches_readback(card: FleetCard, function: str, blob: bytes) -> bool:
+        """Does *card*'s live readback of *function* match the migration blob?
+
+        Host-side verification (no simulated time): decompress the blob and
+        compare against the destination's configuration readback.  Any
+        mismatch is a migration-induced byte diff — the safety property the
+        rebalance experiments assert stays at zero.
+        """
+        from repro.bitstream.format import parse_bitstream
+        from repro.bitstream.window import CompressedImage, WindowedDecompressor
+
+        image = CompressedImage.from_bytes(blob)
+        bitstream = parse_bitstream(WindowedDecompressor(image).decompress_all())
+        return card.driver.coprocessor.device.verify_readback(function, bitstream)
+
+    def rebalance_summary(self) -> dict:
+        """Aggregate migration/defrag picture across the whole fleet."""
+        stats = self.stats
+        defrag_passes = defrag_moves = defrag_frames_moved = 0
+        for card in self.cards:
+            defragmenter = card.driver.coprocessor.defragmenter
+            if defragmenter is not None:
+                defrag_passes += defragmenter.stats.passes
+                defrag_moves += defragmenter.stats.moves
+                defrag_frames_moved += defragmenter.stats.frames_moved
+        return {
+            "migration_orders": stats.migration_orders,
+            "migrations_completed": stats.migrations_completed,
+            "migrations_failed": stats.migrations_failed,
+            "migrated_frames": stats.migrated_frames,
+            "migrated_bytes": stats.migrated_bytes,
+            "migration_byte_diffs": stats.migration_byte_diffs,
+            "mean_migration_latency_ns": stats.mean_migration_latency_ns,
+            "defrag_passes": defrag_passes,
+            "defrag_moves": defrag_moves,
+            "defrag_frames_moved": defrag_frames_moved,
+        }
 
     def install_faults(self, injector) -> None:
         """Attach a :class:`~repro.faults.injector.FaultInjector`'s processes."""

@@ -62,6 +62,18 @@ class FleetStatistics:
         #: Completions whose execution ran over a CRC-mismatching frame — the
         #: fleet's *silent corruption* count (the host saw STATUS_OK).
         self.hazard_completions = 0
+        # --- rebalancing (PR 5: live migration + defrag) -------------------
+        self.migration_orders = 0
+        self.migrations_completed = 0
+        self.migrations_failed = 0
+        self.migration_failure_reasons: Dict[str, int] = defaultdict(int)
+        self.migrated_frames = 0
+        self.migrated_bytes = 0
+        #: Restores whose destination readback did not match the captured
+        #: image byte for byte — must stay zero (the migration-safety
+        #: property the E11 acceptance gate asserts).
+        self.migration_byte_diffs = 0
+        self.total_migration_latency_ns = 0.0
 
     # ------------------------------------------------------------- recording
     def record_arrival(self, tenant: str, arrival_ns: float) -> None:
@@ -114,6 +126,43 @@ class FleetStatistics:
         self.total_heal_latency_ns += completed_ns - killed_at_ns
         self._digest.update(
             f"heal|{function}|{card_name}|{killed_at_ns!r}|{completed_ns!r}".encode()
+        )
+
+    def record_migration_order(
+        self, function: str, source: str, dest: str, now_ns: float
+    ) -> None:
+        self.migration_orders += 1
+        self._digest.update(f"mig-order|{function}|{source}|{dest}|{now_ns!r}".encode())
+
+    def record_migration_failed(
+        self, function: str, card_name: str, reason: str, now_ns: float
+    ) -> None:
+        self.migrations_failed += 1
+        self.migration_failure_reasons[reason] += 1
+        self._digest.update(
+            f"mig-fail|{function}|{card_name}|{reason}|{now_ns!r}".encode()
+        )
+
+    def record_migration(
+        self,
+        function: str,
+        source: str,
+        dest: str,
+        ordered_ns: float,
+        completed_ns: float,
+        frames: int,
+        blob_bytes: int,
+        byte_identical: bool,
+    ) -> None:
+        self.migrations_completed += 1
+        self.migrated_frames += frames
+        self.migrated_bytes += blob_bytes
+        self.total_migration_latency_ns += completed_ns - ordered_ns
+        if not byte_identical:
+            self.migration_byte_diffs += 1
+        self._digest.update(
+            f"mig|{function}|{source}|{dest}|{ordered_ns!r}|{completed_ns!r}|"
+            f"{frames}|{blob_bytes}|{int(byte_identical)}".encode()
         )
 
     def record_completion(
@@ -194,6 +243,15 @@ class FleetStatistics:
     def silent_corruption_rate(self) -> float:
         """Fraction of completions that executed over corrupted frames."""
         return self.hazard_completions / self.completed if self.completed else 0.0
+
+    @property
+    def mean_migration_latency_ns(self) -> float:
+        """Mean order-to-release migration latency (0 when none completed)."""
+        return (
+            self.total_migration_latency_ns / self.migrations_completed
+            if self.migrations_completed
+            else 0.0
+        )
 
     @property
     def mttr_ns(self) -> float:

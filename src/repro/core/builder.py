@@ -93,6 +93,12 @@ def build_fleet(
     heal_on_failure: bool = True,
     heal_limit: int = 4,
     fault_spec=None,
+    rebalance_period_ns: Optional[float] = None,
+    rebalance_max_orders: int = 2,
+    rebalance_min_queue_skew: int = 4,
+    rebalance_min_frame_skew: int = 4,
+    defrag_period_ns: Optional[float] = None,
+    defrag_moves_per_order: Optional[int] = 1,
 ):
     """Wire *cards* identical co-processor cards into a ready :class:`Fleet`.
 
@@ -110,6 +116,13 @@ def build_fleet(
     optionally starting the periodic readback-scrub services.  ``fault_spec``
     (a :class:`~repro.faults.spec.FaultSpec`) additionally installs a fault
     injector whose processes run alongside the fleet's own schedule.
+
+    ``rebalance_period_ns`` starts the fleet's migration-planning service
+    (see :meth:`~repro.cluster.fleet.Fleet.enable_rebalancing`):
+    configuration residency moves from overloaded cards to idle ones through
+    CAPTURE/RESTORE migrations.  ``defrag_period_ns`` installs per-card
+    configuration-memory defragmenters and runs one bounded compaction order
+    per period (:meth:`~repro.cluster.fleet.Fleet.enable_defrag`).
     """
     from repro.cluster.fleet import Fleet
 
@@ -126,6 +139,17 @@ def build_fleet(
             scrub_frames_per_order=scrub_frames_per_order,
             heal_on_failure=heal_on_failure,
             heal_limit=heal_limit,
+        )
+    if rebalance_period_ns is not None:
+        fleet.enable_rebalancing(
+            rebalance_period_ns,
+            min_queue_skew=rebalance_min_queue_skew,
+            min_frame_skew=rebalance_min_frame_skew,
+            max_orders_per_cycle=rebalance_max_orders,
+        )
+    if defrag_period_ns is not None:
+        fleet.enable_defrag(
+            period_ns=defrag_period_ns, moves_per_order=defrag_moves_per_order
         )
     if fault_spec is not None:
         from repro.faults import FaultInjector

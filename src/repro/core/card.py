@@ -22,12 +22,13 @@ from repro.mcu.commands import (
     STATUS_BAD_COMMAND,
     STATUS_CAPACITY,
     STATUS_CONFIG_FAILED,
+    STATUS_NOT_RESIDENT,
     STATUS_OK,
     STATUS_UNKNOWN_FUNCTION,
     CommandKind,
 )
 from repro.mcu.minios.policies import CapacityError
-from repro.fpga.errors import ConfigurationError
+from repro.fpga.errors import ConfigurationError, ExecutionError, PlacementError
 from repro.pci.device import PciDevice, PciFunctionInterface
 
 
@@ -63,6 +64,9 @@ class CoprocessorCard(PciDevice):
             CommandKind.STATUS: self._handle_nop,
             CommandKind.RESET: self._handle_reset,
             CommandKind.SCRUB: self._handle_scrub,
+            CommandKind.CAPTURE: self._handle_capture,
+            CommandKind.RESTORE: self._handle_restore,
+            CommandKind.DEFRAG: self._handle_defrag,
         }[kind]
         handler()
         self.commands_processed += 1
@@ -105,6 +109,12 @@ class CoprocessorCard(PciDevice):
         except ConfigurationError:
             self._finish(STATUS_CONFIG_FAILED)
             return
+        except PlacementError:
+            # Enough free frames but no admissible placement (a fragmented
+            # CONTIGUOUS_ONLY fabric): the load fails like a wedged port
+            # would, and the host can DEFRAG and retry.
+            self._finish(STATUS_CONFIG_FAILED)
+            return
         self.last_result = result
         self._finish(STATUS_OK, output=result.output, elapsed_ns=result.latency_ns)
 
@@ -123,6 +133,9 @@ class CoprocessorCard(PciDevice):
             # preload the same way it fails an on-demand load.
             self._finish(STATUS_CONFIG_FAILED)
             return
+        except PlacementError:
+            self._finish(STATUS_CONFIG_FAILED)
+            return
         self._finish(STATUS_OK, elapsed_ns=outcome.total_time_ns)
 
     def _handle_scrub(self) -> None:
@@ -135,6 +148,69 @@ class CoprocessorCard(PciDevice):
         # No data payload: reuse the output-length register to report how many
         # frames the pass repaired (the driver's scrub_card returns it).
         self.interface.write_register(REG_OUTPUT_LENGTH, result.corrected)
+
+    def _handle_capture(self) -> None:
+        """Readback-capture a resident function; the blob lands in the window."""
+        name = self._function_name()
+        if name is None:
+            self._finish(STATUS_UNKNOWN_FUNCTION)
+            return
+        before = self.coprocessor.clock.now
+        try:
+            blob = self.coprocessor.capture_function(name)
+        except ExecutionError:
+            self._finish(STATUS_NOT_RESIDENT)
+            return
+        if len(blob) > self.window_bytes - self.output_offset:
+            # A migration image must fit the output half of the data window;
+            # with realistic window sizes this is unreachable, but a tiny
+            # window must fail loudly rather than truncate the image.
+            self._finish(STATUS_BAD_COMMAND)
+            return
+        self._finish(STATUS_OK, output=blob, elapsed_ns=self.coprocessor.clock.now - before)
+
+    def _handle_restore(self) -> None:
+        """Configure a function from a migration blob staged in the window."""
+        name = self._function_name()
+        if name is None:
+            self._finish(STATUS_UNKNOWN_FUNCTION)
+            return
+        length = self.interface.read_register(REG_INPUT_LENGTH)
+        if length == 0 or length > self.output_offset:
+            self._finish(STATUS_BAD_COMMAND)
+            return
+        blob = self.interface.read_window(0, length)
+        try:
+            outcome = self.coprocessor.restore_function(name, blob)
+        except CapacityError:
+            self._finish(STATUS_CAPACITY)
+            return
+        except (ConfigurationError, PlacementError):
+            # Wedged port, CRC mismatch, a frame-incompatible blob or no
+            # admissible placement on a fragmented contiguous-only fabric:
+            # the restore failed the same way a failed on-demand load would.
+            self._finish(STATUS_CONFIG_FAILED)
+            return
+        self._finish(STATUS_OK, elapsed_ns=outcome.total_time_ns)
+
+    def _handle_defrag(self) -> None:
+        """Run one defrag pass; frames moved land in OUTPUT_LENGTH."""
+        # INPUT_LENGTH doubles as the move budget (0 = unbounded pass).
+        budget = self.interface.read_register(REG_INPUT_LENGTH)
+        try:
+            result = self.coprocessor.defrag(max_moves=budget if budget else None)
+        except ConfigurationError:
+            # A wedged configuration port stops the pass mid-compaction; the
+            # functions are all intact where they were.
+            self._finish(STATUS_CONFIG_FAILED)
+            return
+        if result is None:
+            self._finish(STATUS_BAD_COMMAND)
+            return
+        self._finish(STATUS_OK, elapsed_ns=result.elapsed_ns)
+        # No data payload: reuse the output-length register to report how
+        # many frames the pass moved (mirrors the SCRUB convention).
+        self.interface.write_register(REG_OUTPUT_LENGTH, result.frames_moved)
 
     def _handle_evict(self) -> None:
         name = self._function_name()

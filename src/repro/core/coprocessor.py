@@ -128,6 +128,8 @@ class AgileCoprocessor:
         self.download_reports: Dict[str, Dict[str, float]] = {}
         #: Readback-scrub service; installed by enable_fault_protection().
         self.scrubber = None
+        #: Frame-compaction service; installed by enable_defrag().
+        self.defragmenter = None
 
     # ----------------------------------------------------------- bank download
     def download_bank(self) -> Dict[str, FunctionRecord]:
@@ -240,6 +242,48 @@ class AgileCoprocessor:
     def evict(self, name: str) -> None:
         """Explicitly evict *name* from the fabric."""
         self.mcu.evict(name)
+
+    # ------------------------------------------------------------- migration
+    def capture_function(self, name: str) -> bytes:
+        """Readback-capture resident *name* into a compressed migration blob.
+
+        The blob is self-describing (codec, window size, relocatable
+        slot-indexed frames, payload CRC): feed it to :meth:`restore_function`
+        on any card whose fabric is frame-compatible.
+        """
+        if name not in self.bank:
+            raise UnknownFunctionError(name)
+        return self.mcu.capture(
+            name, self.config.codec_name, self.config.compression_window_bytes
+        )
+
+    def restore_function(self, name: str, blob: bytes) -> RequestOutcome:
+        """Make *name* resident from a migration blob (live migration restore)."""
+        if not self._bank_downloaded:
+            self.download_bank()
+        if name not in self.bank:
+            raise UnknownFunctionError(name)
+        return self.mcu.restore(name, blob)
+
+    # --------------------------------------------------------------- defrag
+    def enable_defrag(self):
+        """Install the configuration-memory defragmenter service.
+
+        Idempotent; returns the defragmenter.  Like the scrubber it is a
+        mini-OS service, so the DEFRAG PCI command and the fleet's periodic
+        defrag orders both reach it through the service registry.
+        """
+        if self.defragmenter is not None:
+            return self.defragmenter
+        from repro.mcu.minios.defrag import Defragmenter
+
+        self.defragmenter = Defragmenter(self.minios, self.device, clock=self.clock)
+        self.minios.register_service("defrag", self.defragmenter)
+        return self.defragmenter
+
+    def defrag(self, max_moves: Optional[int] = None):
+        """One compaction pass (``None`` when defrag is not enabled)."""
+        return self.mcu.defrag(max_moves=max_moves)
 
     # ----------------------------------------------------- fault protection
     def enable_fault_protection(self, check_cycles_per_byte: float = 0.25):

@@ -159,6 +159,66 @@ class HostDriver:
         self._issue_command(CommandKind.SCRUB, 0, 0)
         return self.bridge.read_register(self.card.name, REG_OUTPUT_LENGTH)
 
+    # ------------------------------------------------------------- migration
+    def capture_function(self, name: str) -> bytes:
+        """CAPTURE: readback a resident function into a migration blob.
+
+        The card charges the frame readback and compression; reading the blob
+        out of the data window pays the real PCI transfer cost (PIO or DMA by
+        size), exactly like an execution result.
+        """
+        function = self.coprocessor.bank.by_name(name)
+        self._issue_command(CommandKind.CAPTURE, function.function_id, 0)
+        length = self.bridge.read_register(self.card.name, REG_OUTPUT_LENGTH)
+        blob, _ = self._read_output(length)
+        return blob
+
+    def restore_function(self, name: str, blob: bytes) -> None:
+        """RESTORE: make *name* resident from a migration blob.
+
+        Stages the blob into the card's window (PIO or DMA by size) and
+        issues the RESTORE command; the card decompresses and configures
+        through its normal on-demand path, mini-OS placement included.
+        """
+        if not blob:
+            raise CoprocessorError("a migration blob cannot be empty")
+        function = self.coprocessor.bank.by_name(name)
+        self._write_input(blob)
+        self._issue_command(CommandKind.RESTORE, function.function_id, len(blob))
+
+    def migrate_function_to(self, name: str, destination: "HostDriver") -> bytes:
+        """Capture *name* here, restore it on *destination*, release it here.
+
+        The single-host convenience wrapper over the migration protocol (the
+        fleet's rebalancer drives the same three commands through its card
+        queues instead, so each phase contends for card time).  Refuses
+        frame-incompatible destination fabrics up front — the wire format can
+        only check frame *sizes*, but the hosts hold both geometries.
+        Returns the migration blob that moved.
+        """
+        from repro.bitstream.relocate import compatible_fabrics
+
+        if not compatible_fabrics(
+            self.coprocessor.geometry, destination.coprocessor.geometry
+        ):
+            raise CoprocessorError(
+                f"cannot migrate {name!r}: destination fabric is frame-incompatible"
+            )
+        blob = self.capture_function(name)
+        destination.restore_function(name, blob)
+        self.evict(name)
+        return blob
+
+    def defrag_card(self, max_moves: int = 0) -> int:
+        """DEFRAG: one compaction pass; returns the frames moved.
+
+        ``max_moves=0`` runs an unbounded pass.  Requires the card's
+        defragmenter to be enabled (STATUS_BAD_COMMAND otherwise, surfaced as
+        :class:`~repro.core.exceptions.CoprocessorError`).
+        """
+        self._issue_command(CommandKind.DEFRAG, 0, max_moves)
+        return self.bridge.read_register(self.card.name, REG_OUTPUT_LENGTH)
+
 
 def build_host_system(coprocessor: AgileCoprocessor, window_bytes: int = 128 * 1024) -> HostDriver:
     """Wire a co-processor card onto a PCI bus and return a ready driver.

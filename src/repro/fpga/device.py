@@ -40,6 +40,12 @@ class LoadedFunction:
     loaded_at_ns: float
     executions: int = 0
     total_cycles: int = 0
+    #: I/O metadata copied from the configuring bit-stream's header, so a
+    #: readback capture can rebuild a relocatable bit-stream without
+    #: consulting the function bank.
+    input_bytes: int = 0
+    output_bytes: int = 0
+    lut_count: int = 0
 
     @property
     def frame_count(self) -> int:
@@ -73,6 +79,8 @@ class FPGADevice:
         self.total_configurations = 0
         self.total_partial_configurations = 0
         self.total_executions = 0
+        self.total_captures = 0
+        self.total_relocations = 0
         #: Optional fault-tolerance hooks (see :mod:`repro.faults`): a golden
         #: image store capturing each region's clean readback at configure
         #: time, and a hazard detector consulted on every execute.  Both
@@ -146,6 +154,9 @@ class FPGADevice:
             region=region,
             executor=executor,
             loaded_at_ns=self.clock.now,
+            input_bytes=bitstream.header.input_bytes,
+            output_bytes=bitstream.header.output_bytes,
+            lut_count=bitstream.header.lut_count,
         )
         if self.golden is not None:
             self.golden.capture(region, [self.memory.read_frame(a) for a in region])
@@ -196,6 +207,9 @@ class FPGADevice:
             region=region,
             executor=executor,
             loaded_at_ns=self.clock.now,
+            input_bytes=bitstream.header.input_bytes,
+            output_bytes=bitstream.header.output_bytes,
+            lut_count=bitstream.header.lut_count,
         )
         if self.golden is not None:
             self.golden.capture(region, [self.memory.read_frame(a) for a in region])
@@ -251,6 +265,119 @@ class FPGADevice:
         self.total_executions += 1
         self.trace.record("fpga", "execute", started, self.clock.now, function=name, cycles=cycles)
         return output, elapsed
+
+    # ----------------------------------------------------------- relocation
+    def capture_function(self, name: str) -> Bitstream:
+        """Readback-capture *name* into a relocatable bit-stream.
+
+        The capture is *timed*: each frame's readback is charged at the
+        configuration port's transfer rate (SelectMAP-style readback runs at
+        write speed).  The resulting bit-stream is slot-indexed — no absolute
+        addresses — so it can be restored onto any frame-compatible fabric
+        region; its payload CRC protects the transfer end to end.
+        """
+        try:
+            loaded = self._loaded[name]
+        except KeyError:
+            raise ExecutionError(f"cannot capture {name!r}: it is not loaded") from None
+        started = self.clock.now
+        payloads = []
+        for address in loaded.region:
+            payload = self.memory.read_frame(address)
+            self.clock.advance(self.port.write_time_ns(len(payload)))
+            payloads.append(payload)
+        from repro.bitstream.format import build_bitstream
+
+        bitstream = build_bitstream(
+            function_id=loaded.function_id,
+            function_name=name,
+            frame_payloads=payloads,
+            input_bytes=loaded.input_bytes,
+            output_bytes=loaded.output_bytes,
+            lut_count=loaded.lut_count,
+        )
+        self.total_captures += 1
+        self.trace.record(
+            "fpga", "capture", started, self.clock.now, function=name, frames=len(payloads)
+        )
+        return bitstream
+
+    def relocate_function(self, name: str, new_region: FrameRegion) -> float:
+        """Move *name*'s frames to *new_region* on this fabric; returns Δt.
+
+        The relocation is capture-and-restore in place: the old frames are
+        read back (charged at port speed), pushed through a configuration
+        session into the new region (real write time, CRC-verified), and the
+        frames left behind are erased.  Ownership bookkeeping, the golden
+        image store and each frame's CRC check word all move in lockstep; the
+        executor binding survives because only the *placement* changed, not
+        the configuration payloads.  Old and new regions may overlap.
+        """
+        try:
+            loaded = self._loaded[name]
+        except KeyError:
+            raise ExecutionError(f"cannot relocate {name!r}: it is not loaded") from None
+        old_region = loaded.region
+        if len(new_region) != len(old_region):
+            raise ConfigurationError(
+                f"relocation of {name!r} must keep its {len(old_region)} frames, "
+                f"got a {len(new_region)}-frame target"
+            )
+        if list(new_region) == list(old_region):
+            return 0.0
+        new_set = set(new_region)
+        for address in new_region:
+            owner = self.memory.owner_of(address)
+            if owner is not None and owner != name:
+                raise FrameCollisionError([address], owner)
+        if self.port.wedged:
+            raise ConfigurationError(
+                f"configuration port is wedged; cannot relocate {name!r}"
+            )
+        started = self.clock.now
+        payloads = []
+        for address in old_region:
+            payload = self.memory.read_frame(address)
+            self.clock.advance(self.port.write_time_ns(len(payload)))
+            payloads.append(payload)
+        from repro.bitstream.crc import crc32
+
+        expected = 0
+        for payload in payloads:
+            expected = crc32(payload, expected)
+        self.port.begin_session(name)
+        try:
+            for address, payload in zip(new_region, payloads):
+                self.port.write_frame(address, payload)
+            self.port.end_session(expected_crc=expected)
+        except ConfigurationError:
+            # Unreachable in practice (the CRC is computed from the very
+            # payloads just written and the wedge check ran up front), but a
+            # relocation must never leave the function half-moved: restore
+            # the old region's contents and ownership before re-raising.
+            self.port.abort_session()
+            for address, payload in zip(old_region, payloads):
+                self.memory.write_frame(address, payload, owner=name)
+            raise
+        stale = [address for address in old_region if address not in new_set]
+        for address in stale:
+            self.memory.clear_frame(address)
+        loaded.region = new_region
+        if self.golden is not None:
+            if stale:
+                self.golden.release(stale)
+            self.golden.capture(new_region, payloads)
+        self.total_relocations += 1
+        elapsed = self.clock.now - started
+        self.trace.record(
+            "fpga",
+            "relocate",
+            started,
+            self.clock.now,
+            function=name,
+            frames=len(new_region),
+        )
+        return elapsed
 
     # ------------------------------------------------------------- readback
     def readback(self, name: str) -> List[bytes]:

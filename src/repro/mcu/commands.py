@@ -34,6 +34,17 @@ class CommandKind(enum.IntEnum):
     #: whose CRC check word no longer matches and repair them from the golden
     #: image).  Requires the card's fault-protection service to be enabled.
     SCRUB = 0x06
+    #: Readback-capture a resident function into a relocatable, compressed
+    #: migration image placed in the card's output window (live migration,
+    #: source side).
+    CAPTURE = 0x07
+    #: Configure a function from a migration image staged in the card's input
+    #: window instead of the ROM (live migration, destination side).
+    RESTORE = 0x08
+    #: Run one defragmentation pass: compact resident functions' frame runs
+    #: toward the low end of configuration memory.  Requires the card's
+    #: defragmenter service to be enabled.
+    DEFRAG = 0x09
 
 
 #: Register offsets in BAR0 (all 32-bit registers).
@@ -51,6 +62,8 @@ STATUS_UNKNOWN_FUNCTION = 2
 STATUS_CONFIG_FAILED = 3
 STATUS_BAD_COMMAND = 4
 STATUS_CAPACITY = 5
+#: CAPTURE asked for a function whose frames are not on the fabric.
+STATUS_NOT_RESIDENT = 6
 
 _COMMAND_STRUCT = struct.Struct(">BxHI")
 

@@ -23,10 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.bitstream.format import parse_bitstream
-from repro.bitstream.window import CompressedImage, WindowedDecompressor
+from repro.bitstream.format import Bitstream, parse_bitstream
+from repro.bitstream.window import CompressedImage, WindowedCompressor, WindowedDecompressor
 from repro.bitstream.codecs import get_codec
 from repro.fpga.device import FPGADevice
+from repro.fpga.errors import ConfigurationError
 from repro.fpga.executor import FunctionExecutor
 from repro.fpga.frame import FrameRegion
 from repro.memory.rom import ConfigurationRom
@@ -141,6 +142,94 @@ class ConfigurationModule:
         elapsed = self.clock.now - started
         return raw, elapsed
 
+    # ------------------------------------------------------------- transfer
+    def compress_for_transfer(
+        self, bitstream: Bitstream, codec_name: str, window_bytes: int
+    ) -> tuple:
+        """Compress a captured bit-stream for a host-side migration transfer.
+
+        The mirror image of the decompression path: the serialised bit-stream
+        is windowed and compressed with the card's codec, charging the same
+        per-byte MCU cycle cost as decompression (the model treats the two
+        directions as symmetric).  Returns ``(blob_bytes, elapsed_ns)`` where
+        the blob is a self-describing :class:`CompressedImage` serialisation —
+        exactly what :meth:`restore_from_blob` consumes on the destination.
+        """
+        raw = bitstream.to_bytes()
+        compressor = WindowedCompressor(get_codec(codec_name), window_bytes)
+        image = compressor.compress(raw)
+        started = self.clock.now
+        for index, compressed_window in enumerate(image.windows):
+            raw_length = min(window_bytes, len(raw) - index * window_bytes)
+            cycles = self.decompress_cycles_per_byte * (len(compressed_window) + raw_length) / 2.0
+            self.clock.advance(self.domain.cycles_to_ns(cycles))
+        return image.to_bytes(), self.clock.now - started
+
+    def _decode_blob(self, name: str, blob: bytes) -> CompressedImage:
+        """Parse and sanity-check a migration blob; side-effect free.
+
+        Raises :class:`ConfigurationError` on a truncated/corrupted transfer,
+        a blob for a different function, or a frame-size mismatch.  The
+        frame-size test is the strongest check the wire format allows — the
+        blob does not carry the source fabric's CLB layout; full geometry
+        compatibility is the *planner's* job (the rebalancer and the host
+        driver both gate on :func:`repro.bitstream.relocate.
+        compatible_fabrics`, where both geometries are in hand).
+        """
+        from repro.bitstream.codecs.base import CodecError
+        from repro.bitstream.format import BitstreamFormatError
+
+        try:
+            image = self._image_cache.get(blob)
+            if image is None:
+                image = CompressedImage.from_bytes(blob)
+                self._image_cache[blob] = image
+            _, _, bitstream = self._decode(image)
+        except (CodecError, BitstreamFormatError) as error:
+            # A truncated or corrupted transfer fails like a bad bit-stream,
+            # not like a programming error: the card answers CONFIG_FAILED
+            # and the source copy keeps serving.
+            raise ConfigurationError(f"malformed migration blob: {error}") from None
+        if bitstream.header.function_name != name:
+            raise ConfigurationError(
+                f"migration blob carries {bitstream.header.function_name!r}, "
+                f"not {name!r}"
+            )
+        if bitstream.header.frame_payload_bytes != self.device.geometry.frame_config_bytes:
+            raise ConfigurationError(
+                f"migration blob has {bitstream.header.frame_payload_bytes}-byte "
+                f"frames but this fabric uses "
+                f"{self.device.geometry.frame_config_bytes}-byte frames"
+            )
+        return image
+
+    def validate_transfer_blob(self, name: str, blob: bytes) -> None:
+        """Check a migration blob without touching the device.
+
+        The microcontroller calls this *before* planning evictions: a bad
+        blob must never cost the destination its resident functions.
+        """
+        self._decode_blob(name, blob)
+
+    def restore_from_blob(
+        self,
+        name: str,
+        blob: bytes,
+        region: FrameRegion,
+        executor: FunctionExecutor,
+    ) -> ReconfigurationReport:
+        """Configure *region* from a migration blob instead of the ROM.
+
+        The RESTORE half of live migration: the blob (a windowed
+        :class:`CompressedImage` produced by :meth:`compress_for_transfer` on
+        the source card) is decompressed window by window — same timed path
+        as an on-demand load — and written through the configuration port.
+        The only difference from :meth:`reconfigure` is the missing ROM fetch:
+        the image arrived over the PCI instead.
+        """
+        image = self._decode_blob(name, blob)
+        return self._apply_image(name, image, rom_time=0.0, region=region, executor=executor)
+
     # -------------------------------------------------------------- configure
     def reconfigure(
         self,
@@ -149,8 +238,19 @@ class ConfigurationModule:
         executor: FunctionExecutor,
     ) -> ReconfigurationReport:
         """Full on-demand reconfiguration path: ROM → decompress → config port."""
-        started = self.clock.now
         image, rom_time = self.fetch_compressed_image(name)
+        return self._apply_image(name, image, rom_time=rom_time, region=region, executor=executor)
+
+    def _apply_image(
+        self,
+        name: str,
+        image: CompressedImage,
+        rom_time: float,
+        region: FrameRegion,
+        executor: FunctionExecutor,
+    ) -> ReconfigurationReport:
+        """Shared decompress-and-configure tail of reconfigure/restore."""
+        started = self.clock.now - rom_time
         raw, decompress_time = self.decompress_image(image)
         _, _, bitstream = self._decode(image)
         config_time = self.device.configure_partial(bitstream, region, executor)

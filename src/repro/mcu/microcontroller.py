@@ -158,6 +158,79 @@ class Microcontroller:
             self.device.unload(name)
             self.minios.commit_eviction(name)
 
+    # ------------------------------------------------------------ migration
+    def capture(self, name: str, codec_name: str, window_bytes: int) -> bytes:
+        """CAPTURE command: readback *name* into a compressed migration blob.
+
+        The device charges the frame readback at configuration-port speed and
+        the configuration module charges the windowed compression on the MCU
+        clock, so a capture costs real card time just like a load.  Raises
+        :class:`~repro.fpga.errors.ExecutionError` when *name* is not
+        resident.
+        """
+        self._charge_cycles(self.command_decode_cycles)
+        bitstream = self.device.capture_function(name)
+        blob, _ = self.config_module.compress_for_transfer(
+            bitstream, codec_name, window_bytes
+        )
+        return blob
+
+    def restore(self, name: str, blob: bytes) -> RequestOutcome:
+        """RESTORE command: make *name* resident from a migration blob.
+
+        The blob replaces the ROM as the image source; everything else — the
+        mini OS placement plan, victim eviction, the windowed decompression
+        and the configuration-port writes — is the standard on-demand load
+        path, so a restore pays the same real card time a miss would (minus
+        the ROM fetch the PCI transfer already replaced).
+        """
+        started = self.clock.now
+        function = self.bank.by_name(name)
+        decode_time = self._charge_cycles(self.command_decode_cycles)
+        # Validate the blob before any planning: a corrupted or mismatched
+        # transfer must never cost the destination its resident functions
+        # (the eviction loop below is irreversible).
+        self.config_module.validate_transfer_blob(name, blob)
+        decision = self.minios.plan_load(
+            name, function.frames_required(self.device.geometry), self.clock.now
+        )
+        outcome = RequestOutcome(
+            function=name, output=b"", hit=decision.hit, decode_time_ns=decode_time
+        )
+        if not decision.hit:
+            assert decision.region is not None
+            if self.device.port.wedged:
+                raise ConfigurationError(
+                    f"configuration port is wedged; cannot restore {name!r}"
+                )
+            reconfig_started = self.clock.now
+            for victim in decision.evictions:
+                self.device.unload(victim)
+                self.minios.commit_eviction(victim)
+                outcome.evictions.append(victim)
+            executor = function.executor(self.device.geometry)
+            report = self.config_module.restore_from_blob(
+                name, blob, decision.region, executor
+            )
+            self.minios.commit_load(name, decision.region, self.clock.now)
+            outcome.reconfiguration = report
+            outcome.reconfig_time_ns = self.clock.now - reconfig_started
+        self.minios.touch(name, self.clock.now)
+        outcome.total_time_ns = self.clock.now - started
+        return outcome
+
+    def defrag(self, max_moves: Optional[int] = None):
+        """DEFRAG command: one compaction pass by the mini OS's defragmenter.
+
+        Returns its ``DefragPassResult``, or ``None`` when no defragmenter
+        service is installed.
+        """
+        self._charge_cycles(self.command_decode_cycles)
+        defragmenter = self.minios.service("defrag")
+        if defragmenter is None:
+            return None
+        return defragmenter.defrag_pass(max_moves=max_moves)
+
     def scrub(self, max_frames: Optional[int] = None):
         """Run one readback-scrub pass (the SCRUB command).
 

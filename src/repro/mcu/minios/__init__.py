@@ -14,6 +14,7 @@ here:
   experiment E3 can compare it with FIFO, LFU, Random and Belady's optimal.
 """
 
+from repro.mcu.minios.defrag import DefragPassResult, Defragmenter, DefragStatistics
 from repro.mcu.minios.free_frames import FreeFrameList
 from repro.mcu.minios.replacement import FrameReplacementEntry, FrameReplacementTable
 from repro.mcu.minios.policies import (
@@ -29,6 +30,9 @@ from repro.mcu.minios.policies import (
 from repro.mcu.minios.minios import EvictionDecision, MiniOs
 
 __all__ = [
+    "DefragPassResult",
+    "DefragStatistics",
+    "Defragmenter",
     "FreeFrameList",
     "FrameReplacementEntry",
     "FrameReplacementTable",

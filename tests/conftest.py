@@ -2,17 +2,53 @@
 
 Most tests use deliberately small fabrics, banks and memories so the suite
 stays fast; a handful of integration tests build the full default system.
+
+The fleet-shaped fixtures (``small_trace`` / ``small_fleet`` /
+``protected_fleet`` / ``host_driver_factory``) are *factories*: they return a
+builder function so one test can produce several fleets or traces with
+different knobs while every suite shares a single definition of "a tiny
+deterministic fleet" (previously copy-pasted across the cluster, fault and
+multi-card PCI suites).
+
+Hypothesis runs under registered profiles: both are derandomized (a property
+failure must reproduce on the next run and on every CI machine), CI trades
+example count for wall-clock, and ``HYPOTHESIS_PROFILE`` overrides the
+auto-selection when needed.
 """
 
 from __future__ import annotations
 
-import pytest
+import os
 
-from repro.core.builder import build_coprocessor
+import pytest
+from hypothesis import HealthCheck
+from hypothesis import settings as hypothesis_settings
+
+from repro.core.builder import build_coprocessor, build_fleet, build_host_driver
 from repro.core.config import CoprocessorConfig, SMALL_CONFIG
 from repro.fpga.geometry import FabricGeometry
 from repro.functions.bank import FunctionBank, build_default_bank, build_small_bank
 from repro.sim.clock import Clock
+from repro.workloads.multitenant import default_tenant_mix, multi_tenant_trace
+
+# --------------------------------------------------------------- hypothesis
+hypothesis_settings.register_profile(
+    "ci",
+    max_examples=20,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.register_profile(
+    "dev",
+    max_examples=40,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev")
+)
 
 
 @pytest.fixture
@@ -37,8 +73,9 @@ def small_config() -> CoprocessorConfig:
     return SMALL_CONFIG.with_overrides(seed=7)
 
 
-@pytest.fixture
+@pytest.fixture(scope="session")
 def small_bank() -> FunctionBank:
+    """The 4-function test bank (session-scoped: its memos are shareable)."""
     return build_small_bank()
 
 
@@ -52,3 +89,82 @@ def default_bank() -> FunctionBank:
 def small_coprocessor(small_config, small_bank):
     """A small, fully downloaded co-processor (fast to build)."""
     return build_coprocessor(config=small_config, bank=small_bank)
+
+
+# ------------------------------------------------------------ fleet factories
+#: Six functions (~63 frames) on a 32-frame fabric: no single card can hold
+#: the fleet's working set, so dispatch decisions change hit rates.
+FLEET_WORKING_SET = ["sha1", "crc32", "fir16", "strmatch", "bitonic64", "parity32"]
+
+
+@pytest.fixture(scope="session")
+def fleet_working_set():
+    return list(FLEET_WORKING_SET)
+
+
+@pytest.fixture(scope="session")
+def pressure_config() -> CoprocessorConfig:
+    """The fleet-pressure card: 32 big frames against a ~63-frame working set."""
+    return CoprocessorConfig(
+        fabric_columns=8, fabric_rows=32, clb_rows_per_frame=8, seed=2005
+    )
+
+
+@pytest.fixture
+def small_trace():
+    """Factory: a small deterministic multi-tenant open-arrival trace."""
+
+    def make(bank, length=60, seed=3, mean_interarrival_ns=30_000.0, tenants=2, skew=1.2):
+        specs = default_tenant_mix(bank, tenants=tenants, skew=skew)
+        return multi_tenant_trace(
+            bank, specs, length=length, mean_interarrival_ns=mean_interarrival_ns, seed=seed
+        )
+
+    return make
+
+
+@pytest.fixture
+def small_fleet():
+    """Factory: a tiny fleet of identically configured SMALL_CONFIG cards."""
+
+    def make(bank, policy="affinity", cards=2, queue_depth=8, seed=3, **kwargs):
+        return build_fleet(
+            cards=cards,
+            config=SMALL_CONFIG.with_overrides(seed=seed),
+            bank=bank,
+            policy=policy,
+            queue_depth=queue_depth,
+            **kwargs,
+        )
+
+    return make
+
+
+@pytest.fixture
+def protected_fleet():
+    """Factory: a tiny fleet with the fault-tolerance stack installed."""
+
+    def make(bank, cards=3, seed=3, **kwargs):
+        return build_fleet(
+            cards=cards,
+            config=SMALL_CONFIG.with_overrides(seed=seed),
+            bank=bank,
+            policy="affinity",
+            queue_depth=8,
+            fault_tolerance=True,
+            **kwargs,
+        )
+
+    return make
+
+
+@pytest.fixture
+def host_driver_factory():
+    """Factory: one SMALL_CONFIG card on its own PCI bus behind a driver."""
+
+    def make(bank, config=None):
+        return build_host_driver(
+            config=config if config is not None else SMALL_CONFIG, bank=bank
+        )
+
+    return make

@@ -1,4 +1,9 @@
-"""The fleet layer: dispatch policies, queueing, statistics, determinism."""
+"""The fleet layer: dispatch policies, queueing, statistics, determinism.
+
+The tiny-fleet/trace builders live in ``tests/conftest.py`` (``small_fleet``,
+``small_trace``, ``host_driver_factory``) and are shared with the fault and
+multi-card PCI suites.
+"""
 
 import pytest
 
@@ -10,49 +15,13 @@ from repro.cluster import (
     RoundRobinPolicy,
     build_dispatch_policy,
 )
-from repro.core.builder import build_fleet, build_host_driver
-from repro.core.config import SMALL_CONFIG, CoprocessorConfig
-from repro.functions.bank import build_default_bank, build_small_bank
+from repro.core.builder import build_fleet
 from repro.workloads.multitenant import (
     FleetRequest,
     FleetTrace,
     default_tenant_mix,
     multi_tenant_trace,
 )
-
-#: Six functions (~63 frames) on a 32-frame fabric: no single card can hold
-#: the fleet's working set, so dispatch decisions change hit rates.
-WORKING_SET = ["sha1", "crc32", "fir16", "strmatch", "bitonic64", "parity32"]
-PRESSURE_CONFIG = CoprocessorConfig(
-    fabric_columns=8, fabric_rows=32, clb_rows_per_frame=8, seed=2005
-)
-
-
-@pytest.fixture(scope="module")
-def small_bank():
-    return build_small_bank()
-
-
-@pytest.fixture(scope="module")
-def default_bank():
-    return build_default_bank()
-
-
-def small_trace(bank, length=60, seed=3, mean_interarrival_ns=30_000.0):
-    specs = default_tenant_mix(bank, tenants=2, skew=1.2)
-    return multi_tenant_trace(
-        bank, specs, length=length, mean_interarrival_ns=mean_interarrival_ns, seed=seed
-    )
-
-
-def small_fleet(bank, policy="affinity", cards=2, queue_depth=8):
-    return build_fleet(
-        cards=cards,
-        config=SMALL_CONFIG.with_overrides(seed=3),
-        bank=bank,
-        policy=policy,
-        queue_depth=queue_depth,
-    )
 
 
 class TestDispatchPolicies:
@@ -67,20 +36,20 @@ class TestDispatchPolicies:
         with pytest.raises(ValueError):
             ConfigAffinityPolicy(imbalance_limit=-1)
 
-    def test_round_robin_rotates(self, small_bank):
+    def test_round_robin_rotates(self, small_bank, small_fleet):
         fleet = small_fleet(small_bank, policy="round_robin", cards=3)
         request = FleetRequest(tenant="t", function="crc32", payload=b"", arrival_ns=0.0)
         chosen = [fleet.policy.choose(request, fleet.cards).index for _ in range(6)]
         assert chosen == [0, 1, 2, 0, 1, 2]
 
-    def test_least_outstanding_prefers_idle_card(self, small_bank):
+    def test_least_outstanding_prefers_idle_card(self, small_bank, small_fleet):
         fleet = small_fleet(small_bank, policy="least_outstanding", cards=3)
         fleet.cards[0].outstanding = 2
         fleet.cards[1].outstanding = 1
         request = FleetRequest(tenant="t", function="crc32", payload=b"", arrival_ns=0.0)
         assert fleet.policy.choose(request, fleet.cards).index == 2
 
-    def test_policies_reject_when_every_queue_is_full(self, small_bank):
+    def test_policies_reject_when_every_queue_is_full(self, small_bank, small_fleet):
         for policy in ("round_robin", "least_outstanding", "affinity"):
             fleet = small_fleet(small_bank, policy=policy, cards=2, queue_depth=1)
             for card in fleet.cards:
@@ -88,7 +57,7 @@ class TestDispatchPolicies:
             request = FleetRequest(tenant="t", function="crc32", payload=b"", arrival_ns=0.0)
             assert fleet.policy.choose(request, fleet.cards) is None
 
-    def test_affinity_routes_to_resident_card(self, small_bank):
+    def test_affinity_routes_to_resident_card(self, small_bank, small_fleet):
         fleet = small_fleet(small_bank, policy="affinity", cards=3)
         # Make crc32 resident on card 2 only (through the real driver path).
         fleet.cards[2].driver.preload("crc32")
@@ -97,9 +66,11 @@ class TestDispatchPolicies:
         assert fleet.policy.choose(request, fleet.cards).index == 2
         assert fleet.policy.affinity_hits == 1
 
-    def test_affinity_imbalance_limit_falls_back_to_load(self, small_bank):
+    def test_affinity_imbalance_limit_falls_back_to_load(
+        self, small_bank, host_driver_factory
+    ):
         fleet = Fleet(
-            [build_host_driver(config=SMALL_CONFIG, bank=small_bank) for _ in range(2)],
+            [host_driver_factory(small_bank) for _ in range(2)],
             policy=ConfigAffinityPolicy(imbalance_limit=1),
             queue_depth=8,
         )
@@ -110,7 +81,7 @@ class TestDispatchPolicies:
 
 
 class TestFleetRun:
-    def test_conservation_and_completion(self, small_bank):
+    def test_conservation_and_completion(self, small_bank, small_fleet, small_trace):
         trace = small_trace(small_bank, length=50)
         fleet = small_fleet(small_bank)
         stats = fleet.run(trace)
@@ -124,7 +95,7 @@ class TestFleetRun:
         for card in fleet.cards:
             assert card.outstanding == 0
 
-    def test_sojourn_includes_queueing(self, small_bank):
+    def test_sojourn_includes_queueing(self, small_bank, small_fleet, small_trace):
         trace = small_trace(small_bank, length=50, mean_interarrival_ns=500.0)
         stats = small_fleet(small_bank, cards=1).run(trace)
         # With arrivals far faster than service, waits dominate.
@@ -132,7 +103,9 @@ class TestFleetRun:
         assert stats.mean_sojourn_ns >= stats.mean_wait_ns
         assert stats.latency_percentile(95) >= stats.latency_percentile(50)
 
-    def test_admission_control_rejects_on_overload(self, small_bank):
+    def test_admission_control_rejects_on_overload(
+        self, small_bank, small_fleet, small_trace
+    ):
         trace = small_trace(small_bank, length=80, mean_interarrival_ns=200.0)
         stats = small_fleet(small_bank, cards=1, queue_depth=2).run(trace)
         assert stats.rejected > 0
@@ -148,7 +121,9 @@ class TestFleetRun:
             assert row["arrivals"] == row["completed"] + row["rejected"]
             assert 0.0 <= row["rejection_rate"] <= 1.0
 
-    def test_run_can_be_resumed_with_more_traffic(self, small_bank):
+    def test_run_can_be_resumed_with_more_traffic(
+        self, small_bank, small_fleet, small_trace
+    ):
         fleet = small_fleet(small_bank)
         first = small_trace(small_bank, length=20, seed=1)
         fleet.run(first)
@@ -174,7 +149,9 @@ class TestFleetRun:
         assert fleet.clock.now >= resumed_at + 1000.0
         assert stats.latency_percentile(100, "late") < resumed_at
 
-    def test_truncated_run_refuses_a_new_trace_until_drained(self, small_bank):
+    def test_truncated_run_refuses_a_new_trace_until_drained(
+        self, small_bank, small_fleet, small_trace
+    ):
         fleet = small_fleet(small_bank)
         trace = small_trace(small_bank, length=30, mean_interarrival_ns=10_000.0)
         fleet.run(trace, until_ns=trace.duration_ns / 4)
@@ -187,8 +164,10 @@ class TestFleetRun:
         assert stats.arrivals == 35
         assert stats.completed + stats.rejected == 35
 
-    def test_affinity_beats_round_robin_under_pressure(self, default_bank):
-        subset = default_bank.subset(WORKING_SET)
+    def test_affinity_beats_round_robin_under_pressure(
+        self, default_bank, fleet_working_set, pressure_config
+    ):
+        subset = default_bank.subset(fleet_working_set)
         specs = default_tenant_mix(subset, tenants=4, skew=1.2)
         trace = multi_tenant_trace(
             subset, specs, length=200, mean_interarrival_ns=150_000.0, seed=2005
@@ -197,9 +176,9 @@ class TestFleetRun:
         for policy in ("round_robin", "affinity"):
             fleet = build_fleet(
                 cards=4,
-                config=PRESSURE_CONFIG,
+                config=pressure_config,
                 bank=default_bank,
-                functions=WORKING_SET,
+                functions=fleet_working_set,
                 policy=policy,
             )
             results[policy] = fleet.run(trace)
@@ -216,9 +195,11 @@ class TestFleetRun:
         with pytest.raises(ValueError):
             build_fleet(cards=0)
 
-    def test_policy_instances_cannot_be_shared_across_fleets(self, small_bank):
+    def test_policy_instances_cannot_be_shared_across_fleets(
+        self, small_bank, host_driver_factory
+    ):
         policy = ConfigAffinityPolicy(imbalance_limit=2)
-        drivers = [build_host_driver(config=SMALL_CONFIG, bank=small_bank)]
+        drivers = [host_driver_factory(small_bank)]
         # A failed construction must not poison the policy instance ...
         with pytest.raises(ValueError):
             Fleet(drivers, policy=policy, queue_depth=0)
@@ -229,7 +210,7 @@ class TestFleetRun:
         with pytest.raises(ValueError):
             Fleet(drivers, policy=policy)
 
-    def test_describe_mentions_every_card(self, small_bank):
+    def test_describe_mentions_every_card(self, small_bank, small_fleet, small_trace):
         fleet = small_fleet(small_bank, cards=2)
         fleet.run(small_trace(small_bank, length=10))
         text = fleet.describe()
@@ -246,7 +227,7 @@ class TestFleetStatistics:
         assert stats.latency_percentile(95, "ghost") == 0.0
         assert stats.makespan_ns == 0.0
 
-    def test_summary_keys(self, small_bank):
+    def test_summary_keys(self, small_bank, small_fleet, small_trace):
         stats = small_fleet(small_bank).run(small_trace(small_bank, length=30))
         summary = stats.summary()
         for key in (
@@ -264,7 +245,7 @@ class TestFleetStatistics:
             assert row["completed"] > 0
             assert row["p95_sojourn_us"] >= row["p50_sojourn_us"] or row["completed"] < 3
 
-    def test_describe_lists_tenants(self, small_bank):
+    def test_describe_lists_tenants(self, small_bank, small_fleet, small_trace):
         stats = small_fleet(small_bank).run(small_trace(small_bank, length=30))
         text = stats.describe()
         for tenant in stats.tenants():
@@ -272,23 +253,26 @@ class TestFleetStatistics:
 
 
 class TestDeterminism:
-    def build_and_run(self, bank, policy="affinity"):
+    @staticmethod
+    def build_and_run(bank, small_fleet, small_trace, policy="affinity"):
         trace = small_trace(bank, length=60, mean_interarrival_ns=5_000.0)
         fleet = small_fleet(bank, policy=policy, cards=2)
         fleet.run(trace)
         return fleet.fingerprint()
 
-    def test_fingerprint_stable_across_runs(self, small_bank):
+    def test_fingerprint_stable_across_runs(self, small_bank, small_fleet, small_trace):
         for policy in ("round_robin", "least_outstanding", "affinity"):
-            assert self.build_and_run(small_bank, policy) == self.build_and_run(
-                small_bank, policy
-            ), policy
+            assert self.build_and_run(
+                small_bank, small_fleet, small_trace, policy
+            ) == self.build_and_run(small_bank, small_fleet, small_trace, policy), policy
 
-    def test_policies_produce_distinct_schedules(self, small_bank):
+    def test_policies_produce_distinct_schedules(
+        self, small_bank, small_fleet, small_trace
+    ):
         # Same trace, different routing: the completion digests must differ
         # (if they did not, the policies would not actually be routing).
         digests = {
-            policy: self.build_and_run(small_bank, policy)[4]
+            policy: self.build_and_run(small_bank, small_fleet, small_trace, policy)[4]
             for policy in ("round_robin", "affinity")
         }
         assert digests["round_robin"] != digests["affinity"]

@@ -23,8 +23,9 @@ def load_example(path: pathlib.Path):
 
 
 def test_examples_directory_is_populated():
-    assert len(EXAMPLE_PATHS) >= 5
+    assert len(EXAMPLE_PATHS) >= 6
     assert EXAMPLES_DIR / "fleet_gateway.py" in EXAMPLE_PATHS
+    assert EXAMPLES_DIR / "rebalance_demo.py" in EXAMPLE_PATHS
 
 
 @pytest.mark.parametrize("path", EXAMPLE_PATHS, ids=lambda path: path.stem)

@@ -4,18 +4,23 @@ The compiled :class:`NetlistExecutor` must produce identical
 ``(output_bytes, cycles)`` to :class:`ReferenceNetlistExecutor` on any placed
 netlist — combinational or clocked — for any input.  These property tests
 drive both through randomized netlists, the generator-built netlists, and the
-bank's real functions.
+bank's real functions — including functions whose frames have been
+*relocated* (defragmented in place, or migrated to another card), so frame
+relocation can never silently change function semantics.
 """
 
 import random
 
 import pytest
 
+from repro.core.builder import build_coprocessor
+from repro.core.config import SMALL_CONFIG
+from repro.core.host import build_host_system
 from repro.fpga.executor import NetlistExecutor, ReferenceNetlistExecutor
 from repro.fpga.geometry import TEST_GEOMETRY
 from repro.fpga.lut import LookUpTable
 from repro.fpga.netlist import Netlist
-from repro.functions.bank import build_default_bank
+from repro.functions.bank import build_default_bank, build_small_bank
 from repro.functions.netgen import (
     build_adder_netlist,
     build_parity_netlist,
@@ -106,6 +111,94 @@ class TestGeneratorNetlistEquivalence:
             reference = ReferenceNetlistExecutor(netlist)
             data = bytes(rng.randrange(256) for _ in range(function.spec.input_bytes))
             assert executor.run(data) == reference.run(data)
+
+
+class TestRelocatedFunctionEquivalence:
+    """Relocation must never change semantics: the differential gate.
+
+    Both relocation paths — in-card defragmentation and cross-card
+    migration — are equivalence-fuzzed against the seed evaluator *after*
+    the move, through the full card execute path (staging, feed, fabric,
+    collect), not just the bound executor object.
+    """
+
+    def _netlist_functions(self, coprocessor):
+        return [
+            function
+            for function in coprocessor.bank
+            if function.cached_netlist(coprocessor.geometry) is not None
+        ]
+
+    def _assert_card_matches_reference(self, coprocessor, function, rng, runs=6):
+        netlist = function.cached_netlist(coprocessor.geometry)
+        reference = ReferenceNetlistExecutor(netlist)
+        for _ in range(runs):
+            data = bytes(rng.randrange(256) for _ in range(function.spec.input_bytes))
+            assert coprocessor.execute(function.name, data).output == reference.run(data)[0]
+
+    def test_defragmented_functions_match_reference(self):
+        coprocessor = build_coprocessor(
+            config=SMALL_CONFIG.with_overrides(seed=29), bank=build_small_bank()
+        )
+        coprocessor.enable_defrag()
+        names = coprocessor.bank.names()
+        for name in names:
+            coprocessor.preload(name)
+        # Evict the multi-frame function at the front: the remaining ones sit
+        # behind a hole, so compaction must relocate every one of them.
+        coprocessor.evict(names[0])
+        survivors = names[1:]
+        regions_before = {
+            name: list(coprocessor.device.region_of(name)) for name in survivors
+        }
+        result = coprocessor.defrag()
+        assert result.moves > 0  # the pass actually relocated something
+        moved = [
+            name
+            for name in survivors
+            if list(coprocessor.device.region_of(name)) != regions_before[name]
+        ]
+        assert moved
+        rng = random.Random(31)
+        for function in self._netlist_functions(coprocessor):
+            self._assert_card_matches_reference(coprocessor, function, rng)
+
+    def test_migrated_functions_match_reference(self):
+        source = build_host_system(
+            build_coprocessor(config=SMALL_CONFIG.with_overrides(seed=29), bank=build_small_bank())
+        )
+        dest = build_host_system(
+            build_coprocessor(config=SMALL_CONFIG.with_overrides(seed=37), bank=build_small_bank())
+        )
+        # Fragment the destination first so restores land on shifted frames.
+        dest.preload("crc32")
+        dest.preload("adder8")
+        dest.evict("crc32")
+        rng = random.Random(41)
+        for function in self._netlist_functions(source.coprocessor):
+            source.preload(function.name)
+            source.migrate_function_to(function.name, dest)
+            assert dest.card.is_resident(function.name)
+            self._assert_card_matches_reference(dest.coprocessor, function, rng)
+
+    def test_migration_roundtrip_back_to_source_matches_reference(self):
+        cards = [
+            build_host_system(
+                build_coprocessor(
+                    config=SMALL_CONFIG.with_overrides(seed=seed), bank=build_small_bank()
+                )
+            )
+            for seed in (43, 47)
+        ]
+        rng = random.Random(53)
+        function = next(
+            f for f in self._netlist_functions(cards[0].coprocessor)
+        )
+        cards[0].preload(function.name)
+        cards[0].migrate_function_to(function.name, cards[1])
+        cards[1].migrate_function_to(function.name, cards[0])
+        assert cards[0].card.is_resident(function.name)
+        self._assert_card_matches_reference(cards[0].coprocessor, function, rng)
 
 
 class TestCompiledExecutorState:

@@ -10,49 +10,14 @@ byte-identically.
 import pytest
 
 from repro.core.builder import build_fleet
-from repro.core.config import SMALL_CONFIG, CoprocessorConfig
+from repro.core.config import SMALL_CONFIG
 from repro.faults import FaultSpec
 from repro.fpga.errors import ConfigurationError
-from repro.functions.bank import build_default_bank, build_small_bank
 from repro.workloads.multitenant import default_tenant_mix, multi_tenant_trace
-
-WORKING_SET = ["sha1", "crc32", "fir16", "strmatch", "bitonic64", "parity32"]
-PRESSURE_CONFIG = CoprocessorConfig(
-    fabric_columns=8, fabric_rows=32, clb_rows_per_frame=8, seed=2005
-)
-
-
-@pytest.fixture(scope="module")
-def small_bank():
-    return build_small_bank()
-
-
-@pytest.fixture(scope="module")
-def default_bank():
-    return build_default_bank()
-
-
-def small_trace(bank, length=60, seed=3, mean_interarrival_ns=30_000.0):
-    specs = default_tenant_mix(bank, tenants=2, skew=1.2)
-    return multi_tenant_trace(
-        bank, specs, length=length, mean_interarrival_ns=mean_interarrival_ns, seed=seed
-    )
-
-
-def protected_fleet(bank, cards=3, seed=3, **kwargs):
-    return build_fleet(
-        cards=cards,
-        config=SMALL_CONFIG.with_overrides(seed=seed),
-        bank=bank,
-        policy="affinity",
-        queue_depth=8,
-        fault_tolerance=True,
-        **kwargs,
-    )
 
 
 class TestCardHealth:
-    def test_down_card_is_invisible_to_dispatch(self, small_bank):
+    def test_down_card_is_invisible_to_dispatch(self, small_bank, small_trace, protected_fleet):
         fleet = protected_fleet(small_bank)
         fleet.kill_card(1)
         assert not fleet.cards[1].has_room
@@ -61,7 +26,7 @@ class TestCardHealth:
             card = fleet.policy.choose(small_trace(small_bank)[0], fleet.cards)
             assert card.index != 1
 
-    def test_kill_is_idempotent_and_recorded(self, small_bank):
+    def test_kill_is_idempotent_and_recorded(self, small_bank, protected_fleet):
         fleet = protected_fleet(small_bank)
         assert fleet.kill_card(0)
         assert not fleet.kill_card(0)
@@ -69,7 +34,7 @@ class TestCardHealth:
         assert fleet.cards[0].health == "down"
         assert fleet.cards[0].down_since_ns is not None
 
-    def test_degraded_card_still_admissible_but_spread_avoids_it(self, small_bank):
+    def test_degraded_card_still_admissible_but_spread_avoids_it(self, small_bank, small_trace, protected_fleet):
         fleet = protected_fleet(small_bank)
         fleet.degrade_card(0, duration_ns=1e9)
         assert fleet.cards[0].health == "degraded"
@@ -79,7 +44,7 @@ class TestCardHealth:
         chosen = fleet.policy.choose(request, fleet.cards)
         assert chosen.index != 0
 
-    def test_wedged_port_miss_preserves_resident_functions(self, small_bank):
+    def test_wedged_port_miss_preserves_resident_functions(self, small_bank, protected_fleet):
         """A miss on a degraded card must fail *before* evicting residents."""
         fleet = protected_fleet(small_bank, cards=1)
         card = fleet.cards[0]
@@ -92,7 +57,7 @@ class TestCardHealth:
             copro.mcu.ensure_loaded("sha1" if "sha1" in copro.bank else "adder8")
         assert card.resident_functions() == resident_before
 
-    def test_failover_reaches_every_untried_card(self, small_bank):
+    def test_failover_reaches_every_untried_card(self, small_bank, small_trace):
         """The retry exclusion must be cumulative: with two of three ports
         wedged, requests end up served by the one healthy card, not rejected
         after bouncing between the wedged pair."""
@@ -113,7 +78,7 @@ class TestCardHealth:
         assert stats.completed == stats.arrivals
         assert stats.per_card_dispatched["card2"] > 0
 
-    def test_stall_port_faults_delay_without_degrading(self, small_bank):
+    def test_stall_port_faults_delay_without_degrading(self, small_bank, small_trace, protected_fleet):
         """port_fault_kind='stall': reconfigs slow down, health never changes."""
         trace = small_trace(small_bank, length=60, mean_interarrival_ns=10_000.0)
         fleet = protected_fleet(
@@ -146,7 +111,7 @@ class TestCardHealth:
         )
         assert stalled > 0
 
-    def test_degrade_then_recover_restores_health(self, small_bank):
+    def test_degrade_then_recover_restores_health(self, small_bank, protected_fleet):
         fleet = protected_fleet(small_bank)
         fleet.degrade_card(0, duration_ns=50_000.0)
         assert fleet.cards[0].driver.coprocessor.device.port.wedged
@@ -158,7 +123,7 @@ class TestCardHealth:
 
 class TestKilledCardConservation:
     @pytest.mark.parametrize("kill_ns", [0.0, 200_000.0, 600_000.0])
-    def test_no_request_is_silently_dropped(self, small_bank, kill_ns):
+    def test_no_request_is_silently_dropped(self, small_bank, kill_ns, small_trace, protected_fleet):
         trace = small_trace(small_bank, length=80, mean_interarrival_ns=15_000.0)
         fleet = protected_fleet(
             small_bank,
@@ -175,7 +140,7 @@ class TestKilledCardConservation:
         )
         assert served_alive + summaries["card0"]["served"] >= stats.completed
 
-    def test_mid_run_kill_fails_over_queued_requests(self, small_bank):
+    def test_mid_run_kill_fails_over_queued_requests(self, small_bank, small_trace, protected_fleet):
         # Hammer one card hard so its queue is non-empty when it dies.
         trace = small_trace(small_bank, length=120, mean_interarrival_ns=2_000.0)
         fleet = protected_fleet(
@@ -188,7 +153,7 @@ class TestKilledCardConservation:
         assert stats.failovers > 0
         assert stats.card_failures == 1
 
-    def test_all_ports_wedged_terminates_with_rejections(self, small_bank):
+    def test_all_ports_wedged_terminates_with_rejections(self, small_bank, small_trace, protected_fleet):
         """Failover must not livelock between wedged cards.
 
         With every configuration port wedged, a cold request fails on any
@@ -207,7 +172,7 @@ class TestKilledCardConservation:
         # Bounces are capped at one attempt per card.
         assert stats.failovers <= stats.arrivals * len(fleet.cards)
 
-    def test_all_cards_down_rejects_rather_than_hangs(self, small_bank):
+    def test_all_cards_down_rejects_rather_than_hangs(self, small_bank, small_trace, protected_fleet):
         trace = small_trace(small_bank, length=30)
         fleet = protected_fleet(
             small_bank,
@@ -222,19 +187,21 @@ class TestKilledCardConservation:
 
 
 class TestHealing:
-    def test_hot_functions_reresidentised_on_survivors(self, default_bank):
+    def test_hot_functions_reresidentised_on_survivors(
+        self, default_bank, fleet_working_set, pressure_config
+    ):
         trace = multi_tenant_trace(
-            default_bank.subset(WORKING_SET),
-            default_tenant_mix(default_bank.subset(WORKING_SET), tenants=4, skew=1.2),
+            default_bank.subset(fleet_working_set),
+            default_tenant_mix(default_bank.subset(fleet_working_set), tenants=4, skew=1.2),
             length=200,
             mean_interarrival_ns=100_000.0,
             seed=7,
         )
         fleet = build_fleet(
             cards=3,
-            config=PRESSURE_CONFIG,
+            config=pressure_config,
             bank=default_bank,
-            functions=WORKING_SET,
+            functions=fleet_working_set,
             policy="affinity",
             fault_tolerance=True,
             fault_spec=FaultSpec(card_kill_times_ns=((8_000_000.0, 0),), seed=9),
@@ -252,7 +219,7 @@ class TestHealing:
             resident_anywhere.update(card.resident_functions())
         assert resident_anywhere
 
-    def test_availability_reflects_downtime(self, small_bank):
+    def test_availability_reflects_downtime(self, small_bank, small_trace, protected_fleet):
         trace = small_trace(small_bank, length=80, mean_interarrival_ns=15_000.0)
         fleet = protected_fleet(
             small_bank,
@@ -264,7 +231,7 @@ class TestHealing:
         assert summary["cards_down"] == 1
         assert summary["availability"] == fleet.availability()
 
-    def test_fully_dead_fleet_does_not_report_perfect_availability(self, small_bank):
+    def test_fully_dead_fleet_does_not_report_perfect_availability(self, small_bank, small_trace, protected_fleet):
         """A fleet that completed nothing must report its downtime, not 1.0."""
         trace = small_trace(small_bank, length=30)
         fleet = protected_fleet(
@@ -278,7 +245,7 @@ class TestHealing:
 
 
 class TestScrubService:
-    def test_periodic_scrubbing_repairs_and_run_terminates(self, small_bank):
+    def test_periodic_scrubbing_repairs_and_run_terminates(self, small_bank, small_trace, protected_fleet):
         trace = small_trace(small_bank, length=80, mean_interarrival_ns=20_000.0)
         fleet = protected_fleet(
             small_bank,
@@ -295,7 +262,7 @@ class TestScrubService:
         assert summary["scrub_detected"] == summary["scrub_corrected"]
         assert summary["scrub_uncorrectable"] == 0
 
-    def test_scrubbing_consumes_card_time(self, small_bank):
+    def test_scrubbing_consumes_card_time(self, small_bank, small_trace, protected_fleet):
         trace = small_trace(small_bank, length=40)
         quiet = protected_fleet(small_bank, seed=3)
         scrubbed = protected_fleet(small_bank, seed=3, scrub_period_ns=20_000.0)
@@ -308,7 +275,7 @@ class TestScrubService:
             c.busy_ns for c in quiet.cards
         )
 
-    def test_tight_scrubbing_eliminates_silent_corruption(self, small_bank):
+    def test_tight_scrubbing_eliminates_silent_corruption(self, small_bank, small_trace, protected_fleet):
         trace = small_trace(small_bank, length=100, mean_interarrival_ns=40_000.0)
         spec = FaultSpec(process="targeted", upset_rate_per_s=1_000.0, seed=21)
 
@@ -326,7 +293,7 @@ class TestScrubService:
         tight = run(5_000.0)
         assert tight <= loose
 
-    def test_demand_scrub_guarantees_zero_silent_corruption(self, small_bank):
+    def test_demand_scrub_guarantees_zero_silent_corruption(self, small_bank, small_trace, protected_fleet):
         """scrub_period_ns=0 (readback-before-use) closes the hazard window."""
         trace = small_trace(small_bank, length=120, mean_interarrival_ns=20_000.0)
         fleet = protected_fleet(
@@ -344,7 +311,7 @@ class TestScrubService:
 
 
 class TestFaultDeterminism:
-    def test_identical_fault_runs_have_identical_fingerprints(self, small_bank):
+    def test_identical_fault_runs_have_identical_fingerprints(self, small_bank, small_trace, protected_fleet):
         trace = small_trace(small_bank, length=60, mean_interarrival_ns=10_000.0)
 
         def run():
@@ -368,7 +335,7 @@ class TestFaultDeterminism:
         second = run()
         assert first == second
 
-    def test_faults_change_the_schedule_digest(self, small_bank):
+    def test_faults_change_the_schedule_digest(self, small_bank, small_trace, protected_fleet):
         trace = small_trace(small_bank, length=60, mean_interarrival_ns=10_000.0)
         clean = protected_fleet(small_bank)
         faulty = protected_fleet(

@@ -9,18 +9,9 @@ interleaving, fingerprint for fingerprint.
 
 import hashlib
 
-import pytest
-
 from repro.core.builder import build_host_driver
 from repro.core.config import SMALL_CONFIG
-from repro.functions.bank import build_small_bank
 from repro.sim.kernel import Simulator, Timeout
-
-
-@pytest.fixture(scope="module")
-def bank():
-    return build_small_bank()
-
 
 REQUESTS = [
     ("crc32", b"abcd1234"),
@@ -63,16 +54,16 @@ def log_digest(log):
 
 
 class TestTwoCardsOneKernel:
-    def test_both_cards_complete_all_requests(self, bank):
-        drivers, simulator, log = run_two_cards(bank)
+    def test_both_cards_complete_all_requests(self, small_bank):
+        drivers, simulator, log = run_two_cards(small_bank)
         assert len(log) == 2 * len(REQUESTS)
         for index, driver in enumerate(drivers):
             served = [entry for entry in log if entry[1] == index]
             assert len(served) == len(REQUESTS)
             assert driver.bus.transactions_completed > 0
 
-    def test_cards_interleave_on_the_kernel_timeline(self, bank):
-        _, _, log = run_two_cards(bank)
+    def test_cards_interleave_on_the_kernel_timeline(self, small_bank):
+        _, _, log = run_two_cards(small_bank)
         order = [index for _, index, *_ in log]
         # A correct shared-kernel schedule alternates between the cards; a
         # serialised schedule (all of card 0 then all of card 1) would mean
@@ -80,8 +71,8 @@ class TestTwoCardsOneKernel:
         assert order != sorted(order)
         assert {0, 1} <= set(order)
 
-    def test_buses_are_isolated(self, bank):
-        drivers, _, _ = run_two_cards(bank)
+    def test_buses_are_isolated(self, small_bank):
+        drivers, _, _ = run_two_cards(small_bank)
         bus0, bus1 = (driver.bus for driver in drivers)
         assert bus0 is not bus1
         assert bus0.clock is not bus1.clock
@@ -92,16 +83,16 @@ class TestTwoCardsOneKernel:
         ].bridge.register_base("agile-coprocessor")
         assert bus0.devices[0] is not bus1.devices[0]
 
-    def test_card_clocks_advance_independently_of_kernel(self, bank):
-        drivers, simulator, _ = run_two_cards(bank)
+    def test_card_clocks_advance_independently_of_kernel(self, small_bank):
+        drivers, simulator, _ = run_two_cards(small_bank)
         for driver in drivers:
             # Card-local clocks measure service time only; the kernel clock
             # includes the stagger and any queueing, so it runs ahead.
             assert 0 < driver.clock.now <= simulator.clock.now
 
-    def test_schedule_fingerprint_stable_across_runs(self, bank):
-        first_drivers, first_sim, first_log = run_two_cards(bank)
-        second_drivers, second_sim, second_log = run_two_cards(bank)
+    def test_schedule_fingerprint_stable_across_runs(self, small_bank):
+        first_drivers, first_sim, first_log = run_two_cards(small_bank)
+        second_drivers, second_sim, second_log = run_two_cards(small_bank)
         assert (first_sim.events_dispatched, first_sim.clock.now) == (
             second_sim.events_dispatched,
             second_sim.clock.now,
@@ -112,9 +103,9 @@ class TestTwoCardsOneKernel:
             assert first.bus.transactions_completed == second.bus.transactions_completed
             assert first.bus.bytes_transferred == second.bus.bytes_transferred
 
-    def test_stagger_changes_interleaving_but_not_outputs(self, bank):
-        _, _, tight = run_two_cards(bank, stagger_ns=0.0)
-        _, _, loose = run_two_cards(bank, stagger_ns=10_000.0)
+    def test_stagger_changes_interleaving_but_not_outputs(self, small_bank):
+        _, _, tight = run_two_cards(small_bank, stagger_ns=0.0)
+        _, _, loose = run_two_cards(small_bank, stagger_ns=10_000.0)
         outputs = lambda log: sorted(
             (index, name, output) for _, index, name, _, output in log
         )

@@ -71,6 +71,40 @@ class TestSectionsRunTiny:
         assert fleet["requests_per_s"] > 0
         assert len(fleet["schedule_digest"]) == 16
 
+    def test_rebalance_section_tiny(self):
+        results = perf_smoke.bench_rebalance(
+            fleet_cards=2, fleet_trace_length=24, defrag_cycles=2
+        )
+        assert set(results) == {"defrag_sweep", "rebalance_fleet"}
+        sweep = results["defrag_sweep"]
+        assert sweep["frames_moved"] > 0
+        assert sweep["frames_moved_per_s"] > 0
+        assert sweep["frag_after_last"] == 0.0
+        fleet = results["rebalance_fleet"]
+        assert fleet["completed"] + fleet["rejected"] == 24
+        assert fleet["migrations_completed"] > 0
+        assert fleet["migration_byte_diffs"] == 0
+        assert fleet["requests_per_s"] > 0
+        assert len(fleet["schedule_digest"]) == 16
+
+    def test_rebalance_fingerprints_are_deterministic(self):
+        first = perf_smoke.bench_rebalance(
+            fleet_cards=2, fleet_trace_length=16, defrag_cycles=2
+        )
+        second = perf_smoke.bench_rebalance(
+            fleet_cards=2, fleet_trace_length=16, defrag_cycles=2
+        )
+        assert first["defrag_sweep"]["final_time_ns"] == second["defrag_sweep"]["final_time_ns"]
+        assert first["defrag_sweep"]["frames_moved"] == second["defrag_sweep"]["frames_moved"]
+        assert (
+            first["rebalance_fleet"]["schedule_digest"]
+            == second["rebalance_fleet"]["schedule_digest"]
+        )
+        assert (
+            first["rebalance_fleet"]["final_time_ns"]
+            == second["rebalance_fleet"]["final_time_ns"]
+        )
+
     def test_faults_fingerprints_are_deterministic(self):
         first = perf_smoke.bench_faults(
             upsets_per_round=4, scrub_rounds=2, fleet_cards=2, fleet_trace_length=16

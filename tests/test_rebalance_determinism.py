@@ -1,0 +1,78 @@
+"""Cross-process byte-identity of the rebalance experiments.
+
+Migration schedules fold into the fleet's completion-stream digest (order,
+capture, restore, release records all hash in), so an E11 cell — warm-up,
+skewed residency, migrations, defrag passes — must reproduce byte-identically
+in a fresh interpreter, and so must the perf-smoke ``rebalance`` section's
+fingerprints.  Same pattern as ``test_faults_determinism``: only a second
+process catches salted-hash or dict-order regressions.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_E11_SNIPPET = """
+import json, sys
+sys.path.insert(0, "src")
+sys.path.insert(0, ".")
+from benchmarks.bench_e11_rebalance import build_trace, defrag_drill, run_cell
+from repro.functions.bank import build_default_bank
+
+bank = build_default_bank()
+trace = build_trace(bank, 1.2)
+fleet, stats = run_cell(bank, trace, "migrate+defrag", 2)
+print(repr(fleet.fingerprint()))
+print(json.dumps(fleet.rebalance_summary(), sort_keys=True))
+print(repr((stats.migration_orders, stats.migrations_completed,
+            stats.migration_byte_diffs, stats.latency_percentile(95))))
+print(json.dumps(defrag_drill(), sort_keys=True))
+"""
+
+_SMOKE_SNIPPET = """
+import sys
+sys.path.insert(0, "src")
+sys.path.insert(0, "benchmarks")
+import perf_smoke
+
+results = perf_smoke.bench_rebalance(
+    fleet_cards=2, fleet_trace_length=24, defrag_cycles=2
+)
+sweep = results["defrag_sweep"]
+fleet = results["rebalance_fleet"]
+# Everything except the wall-clock rate fields must be process-invariant.
+print(repr((sweep["moves"], sweep["frames_moved"], sweep["frag_before_first"],
+            sweep["frag_after_last"], sweep["final_time_ns"])))
+print(repr((fleet["events_dispatched"], fleet["final_time_ns"], fleet["completed"],
+            fleet["rejected"], fleet["migration_orders"],
+            fleet["migrations_completed"], fleet["migrations_failed"],
+            fleet["migration_byte_diffs"], fleet["schedule_digest"])))
+"""
+
+
+def run_snippet(snippet: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", snippet],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestCrossProcessDeterminism:
+    def test_e11_cell_is_byte_identical_across_processes(self):
+        first = run_snippet(_E11_SNIPPET)
+        second = run_snippet(_E11_SNIPPET)
+        assert first == second
+        assert first.strip()
+
+    def test_rebalance_smoke_fingerprints_are_byte_identical_across_processes(self):
+        first = run_snippet(_SMOKE_SNIPPET)
+        second = run_snippet(_SMOKE_SNIPPET)
+        assert first == second
+        assert first.strip()
