@@ -1,14 +1,19 @@
-"""Fast-path perf smoke harness: codecs, kernel, device, cluster and faults.
+"""Fast-path perf smoke harness: codecs, kernel, device, cluster, faults,
+rebalance and million-request scale.
 
-Runs in a few seconds and writes ``BENCH_codecs.json`` / ``BENCH_kernel.json``
-/ ``BENCH_device.json`` / ``BENCH_cluster.json`` / ``BENCH_faults.json`` at
-the repo root so successive PRs leave a perf trajectory to compare against.
+Runs in a few seconds (tens of seconds with the full scale section) and
+writes ``BENCH_codecs.json`` / ``BENCH_kernel.json`` / ``BENCH_device.json``
+/ ``BENCH_cluster.json`` / ``BENCH_faults.json`` / ``BENCH_rebalance.json`` /
+``BENCH_scale.json`` at the repo root so successive PRs leave a perf
+trajectory to compare against.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
     PYTHONPATH=src python benchmarks/perf_smoke.py --check --tolerance 0.5
     PYTHONPATH=src python benchmarks/perf_smoke.py --sections device
+    PYTHONPATH=src python benchmarks/perf_smoke.py --check --tiny
+    PYTHONPATH=src python benchmarks/perf_smoke.py --sections scale --profile
 
 ``--check`` re-runs the harness and compares it against the committed
 ``BENCH_*.json`` baselines instead of overwriting them: fingerprint fields
@@ -198,6 +203,54 @@ def bench_kernel(workers: int = 40, rounds: int = 250, repeats: int = 8) -> dict
         "final_time_ns": fingerprint[1],
         "elapsed_s": round(best_elapsed, 4),
         "events_per_s": round(best_rate),
+        "horizon_peek": _bench_horizon_peek(),
+    }
+
+
+def _bench_horizon_peek(pending: int = 2_000, pauses: int = 2_000) -> dict:
+    """Micro-benchmark of pausing ``run(until_ns=...)`` short of the horizon.
+
+    Loads the future tier with *pending* timeouts, then calls ``run`` at
+    *pauses* horizons that all fall before the first event.  Each call peeks
+    the queue head, sees it is beyond the horizon and returns without popping
+    — so the measured rate is the cost of a pure peek-before-pop pause
+    (pre-optimisation, every pause paid a heap pop plus a push-back sift).
+    The fingerprint pins that no event is dispatched and nothing is lost:
+    the queue must still drain to the same schedule afterwards.
+    """
+
+    def sleeper(delay: float):
+        yield Timeout(delay)
+
+    simulator = Simulator()
+    for index in range(pending):
+        simulator.spawn(sleeper(float(1_000_000 + index)), name=f"sleeper-{index}")
+    # Deliver the process-start events (all at t=0) so the timed loop sees
+    # only the loaded future tier, then pause at horizons strictly below the
+    # earliest sleeper (1e6 ns): every run() call must stop on the peek
+    # without dispatching anything.
+    simulator.run(until_ns=0.0)
+    start_dispatches = simulator.events_dispatched
+    step = 1_000_000.0 / (pauses + 1)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for index in range(1, pauses + 1):
+            simulator.run(until_ns=index * step)
+        elapsed = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    paused_dispatches = simulator.events_dispatched - start_dispatches
+    final_time = simulator.run()  # drain: every sleeper must still fire
+    return {
+        "pending_events": pending,
+        "pauses": pauses,
+        "dispatched_during_pauses": paused_dispatches,
+        "events_after_drain": simulator.events_dispatched,
+        "final_time_ns": final_time,
+        "pauses_per_s": round(pauses / elapsed),
     }
 
 
@@ -770,6 +823,162 @@ def bench_rebalance(
     return results
 
 
+def bench_scale(tiny: bool = False) -> dict:
+    """Million-request scale: streaming fleet throughput plus sharded merge.
+
+    Three sub-sections:
+
+    * ``tiny`` — a 20k-request run of the scale configuration (streaming
+      trace, sketch statistics, batched admission, eager-get kernel).  Small
+      enough for CI; its fingerprint (digest, event count, final time) pins
+      the scale schedule byte for byte.
+    * ``fleet_1m`` — the headline 10^6-request run: ≥10× the cluster
+      section's requests/s, O(1)-memory statistics (the sketch bucket count
+      is the footprint and is fingerprinted), p50/p95/p99 from the quantile
+      sketch.  Skipped under ``--tiny``.
+    * ``sharded`` — the same trace split across 2 worker processes with
+      static-hash routing; records whether the merged schedule digest equals
+      the single-process run's (``digest_match`` must stay ``True``).
+
+    The scale configuration trades admission latency for throughput
+    (``admission_batch=32`` coalesces front-door timer events) and runs the
+    kernel in ``eager_get`` mode — both opt-ins that leave every pre-existing
+    benchmark schedule untouched.
+    """
+    from repro.cluster.sharded import (
+        ShardedRunConfig,
+        build_single_process_fleet,
+        run_sharded,
+    )
+    from repro.core.builder import build_fleet
+    from repro.core.config import SMALL_CONFIG
+    from repro.functions.bank import build_small_bank
+    from repro.sim.kernel import Simulator as KernelSimulator
+    from repro.workloads.multitenant import StreamingFleetTrace, default_tenant_mix
+
+    bank = build_small_bank()
+    specs = default_tenant_mix(bank, tenants=3, skew=1.2)
+
+    def run_streaming(requests: int, repeats: int) -> dict:
+        """Best-of-*repeats* wall rate; repeats must fingerprint identically.
+
+        One repetition of a multi-second pure-Python run swings ±10% with the
+        host's scheduling/frequency noise; best-of-N is the same treatment
+        ``bench_kernel`` and ``bench_cluster`` apply, and the repeats double
+        as a determinism check on the whole scale schedule.
+        """
+        fingerprint = None
+        best_elapsed = None
+        for _ in range(repeats):
+            stream = StreamingFleetTrace(
+                bank, specs, requests, mean_interarrival_ns=40_000.0, seed=11
+            )
+            # A fresh fleet per repetition: sketch-mode statistics attach to
+            # a fleet once, and accumulation across runs would change the
+            # schedule anyway.
+            fleet = build_fleet(
+                cards=3,
+                config=SMALL_CONFIG.with_overrides(seed=11),
+                bank=bank,
+                policy="affinity",
+                queue_depth=64,
+                stats_mode="sketch",
+                hit_fastpath=True,
+                admission_batch=32,
+                simulator=KernelSimulator(eager_get=True),
+            )
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                stats = fleet.run(stream)
+                elapsed = time.perf_counter() - start
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            run_print = (
+                stats.completed,
+                stats.rejected,
+                fleet.simulator.events_dispatched,
+                fleet.clock.now,
+                stats.schedule_digest()[:16],
+                stats._fleet_sojourn.bucket_count,
+                round(stats.latency_percentile(50), 3),
+                round(stats.latency_percentile(95), 3),
+                round(stats.latency_percentile(99), 3),
+            )
+            if fingerprint is None:
+                fingerprint = run_print
+            elif run_print != fingerprint:
+                raise AssertionError(
+                    f"non-deterministic scale schedule: {run_print} != {fingerprint}"
+                )
+            if best_elapsed is None or elapsed < best_elapsed:
+                best_elapsed = elapsed
+        return {
+            "requests": requests,
+            "cards": 3,
+            "admission_batch": 32,
+            "repeats": repeats,
+            "completed": fingerprint[0],
+            "rejected": fingerprint[1],
+            "events_dispatched": fingerprint[2],
+            "events_per_request": round(fingerprint[2] / requests, 4),
+            "final_time_ns": fingerprint[3],
+            "schedule_digest": fingerprint[4],
+            "sketch_buckets": fingerprint[5],
+            "sojourn_p50_ns": fingerprint[6],
+            "sojourn_p95_ns": fingerprint[7],
+            "sojourn_p99_ns": fingerprint[8],
+            "elapsed_s": round(best_elapsed, 4),
+            "requests_per_s": round(requests / best_elapsed),
+        }
+
+    results: dict = {}
+    run_streaming(2_000, 1)  # warm bitstream/netlist caches and branch caches
+    results["tiny"] = run_streaming(20_000, 3)
+    if not tiny:
+        results["fleet_1m"] = run_streaming(1_000_000, 3)
+
+    # ----- sharded execution: merged digest == single-process digest --------
+    # Same size in --tiny mode: the run costs a couple of seconds and keeping
+    # it identical lets CI compare the sharded fingerprints (digest_match,
+    # epochs, completion counts) exactly instead of pruning them.
+    sharded_config = ShardedRunConfig(
+        total_cards=4,
+        requests=40_000,
+        tenants=3,
+        skew=1.2,
+        mean_interarrival_ns=40_000.0,
+        trace_seed=11,
+        config_seed=11,
+        queue_depth=64,
+        stats_mode="sketch",
+        hit_fastpath=True,
+        epoch_ns=100_000_000.0,
+    )
+    single_fleet, single_trace = build_single_process_fleet(sharded_config)
+    single_stats = single_fleet.run(single_trace)
+    start = time.perf_counter()
+    sharded = run_sharded(sharded_config, shards=2)
+    elapsed = time.perf_counter() - start
+    results["sharded"] = {
+        "requests": sharded_config.requests,
+        "total_cards": sharded_config.total_cards,
+        "shards": 2,
+        "epochs": sharded.epochs,
+        "completed": sharded.stats.completed,
+        "rejected": sharded.stats.rejected,
+        "schedule_digest": sharded.stats.schedule_digest()[:16],
+        "digest_match": sharded.stats.schedule_digest()
+        == single_stats.schedule_digest(),
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(sharded_config.requests / elapsed),
+    }
+    return results
+
+
 def _warm_up(seconds: float = 0.3) -> None:
     """Spin briefly so frequency governors reach steady state before timing."""
     deadline = time.perf_counter() + seconds
@@ -786,7 +995,12 @@ SECTIONS = {
     "cluster": (bench_cluster, "BENCH_cluster.json"),
     "faults": (bench_faults, "BENCH_faults.json"),
     "rebalance": (bench_rebalance, "BENCH_rebalance.json"),
+    "scale": (bench_scale, "BENCH_scale.json"),
 }
+
+#: per-section baseline keys absent from a ``--tiny`` run (pruned before
+#: comparison so the CI smoke doesn't flag the skipped heavyweight parts).
+_TINY_ONLY_PRUNES = {"scale": ("fleet_1m",)}
 
 #: substrings marking higher-is-better rate fields (tolerance-compared).
 _RATE_MARKERS = ("MBps", "per_s", "speedup")
@@ -819,10 +1033,11 @@ def _compare(baseline, fresh, tolerance: float, path: str, problems: list) -> No
         problems.append(f"{path}: fingerprint changed {baseline!r} -> {fresh!r}")
 
 
-def check_against_baselines(results: dict, tolerance: float) -> list:
+def check_against_baselines(results: dict, tolerance: float, tiny: bool = False) -> list:
     """Compare fresh section results to the committed BENCH files.
 
     Returns a list of human-readable problems (empty when everything holds).
+    ``tiny`` prunes the baseline keys a ``--tiny`` run legitimately skips.
     """
     problems: list = []
     for section, fresh in results.items():
@@ -831,6 +1046,9 @@ def check_against_baselines(results: dict, tolerance: float) -> list:
             problems.append(f"{section}: no committed baseline {baseline_path.name}")
             continue
         baseline = json.loads(baseline_path.read_text())
+        if tiny:
+            for key in _TINY_ONLY_PRUNES.get(section, ()):
+                baseline.pop(key, None)
         _compare(baseline, fresh, tolerance, section, problems)
     return problems
 
@@ -853,15 +1071,49 @@ def main(argv=None) -> int:
         default=",".join(SECTIONS),
         help=f"comma-separated subset of sections to run (default: {','.join(SECTIONS)})",
     )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="shrink the scale section to its CI-sized sub-benchmarks "
+        "(skips the 10^6-request run; --check prunes the skipped keys)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each section and print its top-20 cumulative-time "
+        "functions; diagnostic mode — baselines are neither written nor checked",
+    )
     args = parser.parse_args(argv)
     section_names = [name.strip() for name in args.sections.split(",") if name.strip()]
     unknown = [name for name in section_names if name not in SECTIONS]
     if unknown:
         parser.error(f"unknown sections {unknown}; choose from {sorted(SECTIONS)}")
+
+    def run_section(name: str):
+        bench = SECTIONS[name][0]
+        return bench(tiny=args.tiny) if name == "scale" else bench()
+
     _warm_up()
-    results = {name: SECTIONS[name][0]() for name in section_names}
+    if args.profile:
+        # Profiled rates are distorted by instrumentation, so this mode only
+        # diagnoses: no baseline writes, no --check comparison.
+        import cProfile
+        import io
+        import pstats
+
+        for name in section_names:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            run_section(name)
+            profiler.disable()
+            stream = io.StringIO()
+            pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(20)
+            print(f"--- profile: {name} ---")
+            print(stream.getvalue())
+        return 0
+    results = {name: run_section(name) for name in section_names}
     if args.check:
-        problems = check_against_baselines(results, args.tolerance)
+        problems = check_against_baselines(results, args.tolerance, tiny=args.tiny)
         print(json.dumps(results, indent=2))
         if problems:
             print("\nPERF CHECK FAILED:", file=sys.stderr)
@@ -870,6 +1122,8 @@ def main(argv=None) -> int:
             return 1
         print(f"\nperf check OK ({', '.join(section_names)}; tolerance {args.tolerance})")
         return 0
+    if args.tiny:
+        parser.error("--tiny is a smoke/check mode; refusing to overwrite baselines with it")
     for name in section_names:
         (REPO_ROOT / SECTIONS[name][1]).write_text(json.dumps(results[name], indent=2) + "\n")
     print(json.dumps(results, indent=2))

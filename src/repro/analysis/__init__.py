@@ -9,6 +9,7 @@ form of the paper's evaluation) and, where a trend matters, an ASCII chart
 from repro.analysis.tables import Table, format_value
 from repro.analysis.figures import ascii_bar_chart, ascii_line_chart
 from repro.analysis.report import ExperimentReport
+from repro.analysis.sketch import StreamingQuantileSketch, WindowedTimeSeries
 
 __all__ = [
     "Table",
@@ -16,4 +17,6 @@ __all__ = [
     "ascii_bar_chart",
     "ascii_line_chart",
     "ExperimentReport",
+    "StreamingQuantileSketch",
+    "WindowedTimeSeries",
 ]

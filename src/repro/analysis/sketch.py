@@ -1,0 +1,311 @@
+"""Streaming, mergeable statistics sketches for million-request runs.
+
+The reservoir samplers in :mod:`repro.core.stats` / :mod:`repro.cluster.stats`
+are *exact* for short traces but keep up to 50k–100k floats per tenant — fine
+for the 10^2–10^4 requests of E1–E11, hopeless for a day of production
+traffic.  This module provides the O(1)-memory alternatives the scale
+experiments run on:
+
+* :class:`StreamingQuantileSketch` — a deterministic log-bucketed quantile
+  sketch (DDSketch-style).  Values are counted in geometrically spaced
+  buckets ``gamma**i``; a quantile query walks the cumulative counts and
+  returns the bucket midpoint, which is within a relative **value** error of
+  ``relative_error`` of the true quantile of the stream.  Unlike a reservoir
+  there is no sampling noise and no RNG: the sketch is a pure fold over the
+  stream, so it is bit-reproducible and two sketches merge by adding bucket
+  counts — exactly what the sharded fleet runner needs to combine per-shard
+  latency distributions into the fleet-wide percentiles.
+
+* :class:`WindowedTimeSeries` — fixed-width time windows over a monotone
+  timestamp stream with a bounded ring of recent windows plus lifetime
+  totals, for requests/s-over-time style counters that must not grow with
+  the run length.
+
+Error model (documented for the property tests): for a positive value ``v``
+the sketch stores bucket ``ceil(log(v) / log(gamma))`` with
+``gamma = (1 + e) / (1 - e)``; reporting the bucket's geometric midpoint
+guarantees ``|estimate - v| <= e * v``.  Rank behaviour follows from value
+behaviour: the estimate returned for quantile ``q`` is the bucket containing
+the true nearest-rank quantile, so the estimate is within relative value
+error ``e`` of the exact-mode (full-retention reservoir) answer.
+"""
+
+from __future__ import annotations
+
+import math
+from math import ceil as _ceil, log as _log
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class StreamingQuantileSketch:
+    """Deterministic log-bucket quantile sketch with bounded relative error.
+
+    The memory footprint is O(number of distinct buckets), which for
+    nanosecond latencies spanning [1, 10^12] at 1% relative error is a few
+    hundred integers — independent of how many values are added.
+    """
+
+    def __init__(self, relative_error: float = 0.01, min_value: float = 1.0) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ValueError("relative_error must be in (0, 1)")
+        if min_value <= 0.0:
+            raise ValueError("min_value must be positive")
+        self.relative_error = relative_error
+        self.min_value = min_value
+        self.gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._log_gamma = math.log(self.gamma)
+        #: bucket index -> count; sparse because latency streams are clumpy.
+        self._buckets: Dict[int, int] = {}
+        #: values below ``min_value`` (incl. zero) are counted separately and
+        #: reported as ``min_value`` — latencies that small are noise here.
+        self._low_count = 0
+        self.seen = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._sum = 0.0
+        # value -> bucket memo: latency streams repeat values heavily (a
+        # resident hit of the same payload costs the same nanoseconds), and
+        # the log() is the only non-trivial arithmetic on the add path.  The
+        # cap bounds the memo on streams of mostly-distinct values, where a
+        # full memo degrades to one failed dict probe per add.
+        self._bucket_memo: Dict[float, int] = {}
+
+    # ------------------------------------------------------------ recording
+    def add(self, value: float) -> None:
+        if value < 0.0:
+            raise ValueError("sketch values must be non-negative")
+        self.seen += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value < self.min_value:
+            self._low_count += 1
+            return
+        memo = self._bucket_memo
+        index = memo.get(value)
+        if index is None:
+            index = _ceil(_log(value) / self._log_gamma)
+            if len(memo) < 1024:
+                memo[value] = index
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + 1
+
+    def bucket_index(self, value: float) -> int:
+        """Bucket index for *value* (must be ``>= min_value``).
+
+        Exposed so callers recording one value into several same-geometry
+        sketches (fleet-wide + per-tenant sojourns) pay the ``log()`` once
+        and feed :meth:`add_with_index` with the result.
+        """
+        memo = self._bucket_memo
+        index = memo.get(value)
+        if index is None:
+            index = _ceil(_log(value) / self._log_gamma)
+            if len(memo) < 1024:
+                memo[value] = index
+        return index
+
+    def add_with_index(self, value: float, index: int) -> None:
+        """Record *value* (``>= min_value``) into a precomputed bucket.
+
+        Equivalent to :meth:`add` when *index* came from :meth:`bucket_index`
+        on a sketch with identical geometry.
+        """
+        self.seen += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + 1
+
+    def merge(self, other: "StreamingQuantileSketch") -> None:
+        """Fold *other* into this sketch (bucket-count addition)."""
+        if other.gamma != self.gamma or other.min_value != self.min_value:
+            raise ValueError("can only merge sketches with identical geometry")
+        buckets = self._buckets
+        for index, count in other._buckets.items():
+            buckets[index] = buckets.get(index, 0) + count
+        self._low_count += other._low_count
+        self.seen += other.seen
+        self._sum += other._sum
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        # Parity with ReservoirSampler.__len__: "how many values back the
+        # percentiles" — for a sketch that is the whole stream.
+        return self.seen
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.seen if self.seen else 0.0
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of occupied buckets — the sketch's actual footprint."""
+        return len(self._buckets) + (1 if self._low_count else 0)
+
+    def _bucket_value(self, index: int) -> float:
+        # Geometric midpoint of (gamma**(i-1), gamma**i]: the point whose
+        # worst-case relative distance to either edge is exactly
+        # ``relative_error``.
+        return 2.0 * self.gamma ** index / (self.gamma + 1.0)
+
+    def quantile(self, q: float) -> float:
+        """Value estimate at quantile ``q`` in [0, 1] (nearest rank)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be between 0 and 1")
+        if self.seen == 0:
+            return 0.0
+        # Nearest-rank target matching percentile_of on a fully-retained
+        # sample: index round(q * (n - 1)) of the sorted stream.
+        rank = min(self.seen - 1, int(round(q * (self.seen - 1))))
+        if rank < self._low_count:
+            return min(self.min_value, self._max)
+        cumulative = self._low_count
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if rank < cumulative:
+                estimate = self._bucket_value(index)
+                # Clamp to the observed range so tiny streams round nicely.
+                return min(max(estimate, self._min), self._max)
+        return self._max
+
+    def percentile(self, percentile: float) -> float:
+        """Drop-in for :meth:`ReservoirSampler.percentile` (0..100)."""
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be between 0 and 100")
+        return self.quantile(percentile / 100.0)
+
+    def percentiles(self, wanted: Sequence[float]) -> List[float]:
+        return [self.percentile(p) for p in wanted]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Picklable snapshot (used to ship shard sketches to the merger)."""
+        return {
+            "relative_error": self.relative_error,
+            "min_value": self.min_value,
+            "buckets": dict(self._buckets),
+            "low_count": self._low_count,
+            "seen": self.seen,
+            "min": self._min,
+            "max": self._max,
+            "sum": self._sum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StreamingQuantileSketch":
+        sketch = cls(
+            relative_error=float(data["relative_error"]),
+            min_value=float(data["min_value"]),
+        )
+        sketch._buckets = {int(k): int(v) for k, v in dict(data["buckets"]).items()}
+        sketch._low_count = int(data["low_count"])
+        sketch.seen = int(data["seen"])
+        sketch._min = float(data["min"])
+        sketch._max = float(data["max"])
+        sketch._sum = float(data["sum"])
+        return sketch
+
+
+class WindowedTimeSeries:
+    """Per-window (count, value-sum) over a monotone timestamp stream.
+
+    Keeps at most ``max_windows`` recent windows plus lifetime totals, so a
+    10^6-request run costs the same memory as a 10^2-request run.  Windows
+    are aligned to multiples of ``window_ns`` from time zero, which makes two
+    series recorded on different shards mergeable window-by-window.
+    """
+
+    def __init__(self, window_ns: float = 1_000_000.0, max_windows: int = 256) -> None:
+        if window_ns <= 0:
+            raise ValueError("window width must be positive")
+        if max_windows < 1:
+            raise ValueError("need at least one window")
+        self.window_ns = window_ns
+        self.max_windows = max_windows
+        self._windows: Dict[int, List[float]] = {}  # index -> [count, sum]
+        # Monotone streams hit the same window dozens of times in a row;
+        # keeping the last (index, row) pair skips the dict probe for them.
+        self._last_index: Optional[int] = None
+        self._last_window: Optional[List[float]] = None
+        self.total_count = 0
+        self.total_value = 0.0
+        self.dropped_windows = 0
+
+    def record(self, time_ns: float, value: float = 1.0) -> None:
+        index = int(time_ns // self.window_ns)
+        if index == self._last_index:
+            window = self._last_window
+        else:
+            window = self._windows.get(index)
+            if window is None:
+                window = [0.0, 0.0]
+                self._windows[index] = window
+                if len(self._windows) > self.max_windows:
+                    oldest = min(self._windows)
+                    del self._windows[oldest]
+                    self.dropped_windows += 1
+                    if oldest == index:
+                        # A backward jump past every retained window evicts
+                        # the row it just created; don't cache an orphan.
+                        self._last_index = None
+                        self._last_window = None
+                        window[0] += 1.0
+                        window[1] += value
+                        self.total_count += 1
+                        self.total_value += value
+                        return
+            self._last_index = index
+            self._last_window = window
+        window[0] += 1.0
+        window[1] += value
+        self.total_count += 1
+        self.total_value += value
+
+    def merge(self, other: "WindowedTimeSeries") -> None:
+        if other.window_ns != self.window_ns:
+            raise ValueError("can only merge series with identical window width")
+        for index, (count, total) in other._windows.items():
+            window = self._windows.get(index)
+            if window is None:
+                self._windows[index] = [count, total]
+            else:
+                window[0] += count
+                window[1] += total
+        while len(self._windows) > self.max_windows:
+            del self._windows[min(self._windows)]
+            self.dropped_windows += 1
+        # Merging may have evicted or replaced the cached row.
+        self._last_index = None
+        self._last_window = None
+        self.total_count += other.total_count
+        self.total_value += other.total_value
+        self.dropped_windows += other.dropped_windows
+
+    def windows(self) -> List[Tuple[float, int, float]]:
+        """Sorted ``(window_start_ns, count, value_sum)`` rows."""
+        return [
+            (index * self.window_ns, int(count), total)
+            for index, (count, total) in sorted(self._windows.items())
+        ]
+
+    def peak_rate_per_s(self) -> float:
+        """Highest per-window event rate, scaled to events/second."""
+        if not self._windows:
+            return 0.0
+        peak = max(count for count, _ in self._windows.values())
+        return peak / (self.window_ns / 1e9)
+
+    def mean_value(self) -> float:
+        return self.total_value / self.total_count if self.total_count else 0.0
+
+
+__all__ = ["StreamingQuantileSketch", "WindowedTimeSeries"]

@@ -20,7 +20,17 @@ from repro.cluster.dispatch import (
     DispatchPolicy,
     LeastOutstandingPolicy,
     RoundRobinPolicy,
+    StaticHashPolicy,
     build_dispatch_policy,
+)
+from repro.cluster.sharded import (
+    ShardedRunConfig,
+    ShardedRunResult,
+    ShardTraceView,
+    build_single_process_fleet,
+    merge_shard_records,
+    partition_cards,
+    run_sharded,
 )
 from repro.cluster.fleet import (
     DefragOrder,
@@ -54,5 +64,13 @@ __all__ = [
     "ScrubOrder",
     "LeastOutstandingPolicy",
     "RoundRobinPolicy",
+    "ShardTraceView",
+    "ShardedRunConfig",
+    "ShardedRunResult",
+    "StaticHashPolicy",
     "build_dispatch_policy",
+    "build_single_process_fleet",
+    "merge_shard_records",
+    "partition_cards",
+    "run_sharded",
 ]

@@ -5,7 +5,7 @@ card's configuration-residency view) and returns the chosen card, or ``None``
 when every admissible card's bounded queue is full (the request is rejected —
 admission control, not an error).
 
-Three policies ship:
+Four policies ship:
 
 * :class:`RoundRobinPolicy` — rotate through the cards, skipping full queues.
   Configuration-oblivious: the baseline every fleet experiment compares
@@ -20,11 +20,15 @@ Three policies ship:
   there, and every later request for it routes back — so the fleet's combined
   fabric behaves like one big configuration cache instead of N copies of the
   same small one.
+* :class:`StaticHashPolicy` — hash each function name to a fixed home card.
+  Stateless and history-free, so a fleet partitioned across OS processes
+  (:mod:`repro.cluster.sharded`) routes identically to a single-process run.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+from zlib import crc32
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.cluster.fleet import FleetCard
@@ -139,13 +143,29 @@ class ConfigAffinityPolicy(DispatchPolicy):
     def choose(
         self, request: "FleetRequest", cards: Sequence["FleetCard"]
     ) -> Optional["FleetCard"]:
-        resident: List["FleetCard"] = [
-            card
-            for card in cards
-            if card.has_room and card.holds(request.function)
-        ]
-        if resident:
-            choice = min(resident, key=lambda card: (card.outstanding, card.index))
+        # Inlined has_room/holds (one health check instead of two, bound
+        # residency probe) and a manual min-scan — no candidate list, no key
+        # lambda, no tuple per card: this runs once per dispatched request.
+        function = request.function
+        choice: Optional["FleetCard"] = None
+        choice_outstanding = 0
+        choice_index = 0
+        for card in cards:
+            outstanding = card.outstanding
+            if (
+                outstanding < card.queue_depth
+                and card.health != "down"
+                and card._is_resident(function)
+            ):
+                if (
+                    choice is None
+                    or outstanding < choice_outstanding
+                    or (outstanding == choice_outstanding and card.index < choice_index)
+                ):
+                    choice = card
+                    choice_outstanding = outstanding
+                    choice_index = card.index
+        if choice is not None:
             if self.imbalance_limit is not None:
                 fallback = self._least_outstanding(cards)
                 if (
@@ -164,11 +184,58 @@ class ConfigAffinityPolicy(DispatchPolicy):
         return fallback
 
 
+class StaticHashPolicy(DispatchPolicy):
+    """Route each function to a fixed *home card* by hashing its name.
+
+    ``home(function) = crc32(function) % total_cards`` — a pure function of
+    the request, independent of queue depths, residency or any other dynamic
+    fleet state.  That statelessness is the point: a shard hosting a subset
+    of the fleet's cards routes its share of the trace to exactly the cards a
+    single-process fleet would have picked, which is what makes
+    :mod:`repro.cluster.sharded`'s merged schedule digest equal the
+    single-process digest.  (The affinity policy cannot be sharded this way:
+    its choice depends on the *other* cards' queues and residency.)
+
+    ``total_cards`` is the size of the *logical* fleet.  It defaults to the
+    number of cards offered to :meth:`choose` — correct for a whole fleet —
+    and must be set explicitly on a shard, where ``cards`` is a subset whose
+    ``card.index`` values are global.  A request whose home card is full is
+    rejected (``None``): spilling to another card would reintroduce the
+    cross-card coupling the policy exists to remove.
+    """
+
+    name = "hashed"
+
+    def __init__(self, total_cards: Optional[int] = None) -> None:
+        if total_cards is not None and total_cards < 1:
+            raise ValueError("total_cards must be at least 1")
+        self.total_cards = total_cards
+
+    @staticmethod
+    def home_index(function: str, total_cards: int) -> int:
+        """Global index of *function*'s home card."""
+        return crc32(function.encode("utf-8")) % total_cards
+
+    def choose(
+        self, request: "FleetRequest", cards: Sequence["FleetCard"]
+    ) -> Optional["FleetCard"]:
+        total = self.total_cards if self.total_cards is not None else len(cards)
+        home = crc32(request.function.encode("utf-8")) % total
+        for card in cards:
+            if card.index == home:
+                return card if card.has_room else None
+        raise ValueError(
+            f"home card {home} for {request.function!r} is not hosted here; "
+            "shard traces must be filtered to the shard's own cards"
+        )
+
+
 #: name -> zero-argument policy factory.
 POLICIES = {
     RoundRobinPolicy.name: RoundRobinPolicy,
     LeastOutstandingPolicy.name: LeastOutstandingPolicy,
     ConfigAffinityPolicy.name: ConfigAffinityPolicy,
+    StaticHashPolicy.name: StaticHashPolicy,
 }
 
 

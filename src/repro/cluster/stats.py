@@ -14,16 +14,54 @@ import hashlib
 from collections import defaultdict
 from typing import Dict, List, Optional
 
+from repro.analysis.sketch import StreamingQuantileSketch, WindowedTimeSeries
 from repro.core.stats import ReservoirSampler
 from repro.sim.rand import SeededRandom
 
 
 class FleetStatistics:
-    """Aggregates over one fleet run."""
+    """Aggregates over one fleet run.
 
-    def __init__(self, reservoir_capacity: int = 50_000, seed: int = 0x0F1EE7) -> None:
+    ``mode`` selects the sojourn-percentile machinery:
+
+    * ``"reservoir"`` (default) — seeded reservoir samples, exact for traces
+      shorter than the capacity.  This is the historical behaviour; every
+      pre-existing digest and report is produced in this mode.
+    * ``"sketch"`` — O(1)-memory streaming quantile sketches
+      (:class:`~repro.analysis.sketch.StreamingQuantileSketch`) plus a
+      windowed completion time-series.  No RNG is consumed, percentiles are
+      within ``sketch_relative_error`` relative value error of exact mode,
+      and per-shard instances merge — the mode the 10^6-request scale runs
+      and the sharded runner use.
+
+    The schedule digest is mode-independent: it hashes the completion and
+    rejection streams only, so a sketch-mode run of the same schedule
+    fingerprints identically to a reservoir-mode run.
+    """
+
+    def __init__(
+        self,
+        reservoir_capacity: int = 50_000,
+        seed: int = 0x0F1EE7,
+        mode: str = "reservoir",
+        sketch_relative_error: float = 0.01,
+        window_ns: float = 1_000_000.0,
+    ) -> None:
+        if mode not in ("reservoir", "sketch"):
+            raise ValueError(f"unknown statistics mode {mode!r}")
+        self.mode = mode
         self.reservoir_capacity = reservoir_capacity
+        self.sketch_relative_error = sketch_relative_error
         self._rng = SeededRandom(seed)
+        #: Completions per fixed time window (sketch mode only; reservoir
+        #: mode keeps the historical per-request cost untouched).
+        self.completions_over_time: Optional[WindowedTimeSeries] = (
+            WindowedTimeSeries(window_ns) if mode == "sketch" else None
+        )
+        #: When enabled (sharded execution), every completion/rejection is
+        #: also appended here as a compact tuple so shard streams can be
+        #: merged deterministically; drained per epoch to bound memory.
+        self._record_log: Optional[List[tuple]] = None
         self.arrivals = 0
         self.dispatched = 0
         self.rejected = 0
@@ -44,9 +82,14 @@ class FleetStatistics:
         #: counters (served, busy time) live on FleetCard, the single source
         #: of truth the card summaries report.
         self.per_card_dispatched: Dict[str, int] = defaultdict(int)
-        self._per_tenant_sojourn: Dict[str, ReservoirSampler] = {}
-        self._fleet_sojourn = ReservoirSampler(reservoir_capacity, self._rng.fork("fleet"))
+        self._per_tenant_sojourn: Dict[str, object] = {}
+        self._fleet_sojourn = self._new_sojourn("fleet")
         self._digest = hashlib.sha256()
+        # Digest lines are buffered and folded into the SHA in batches; the
+        # hashed byte stream is identical (SHA-256 is a pure function of the
+        # concatenated stream), but million-request runs pay one C call per
+        # batch instead of one per completion.  ``schedule_digest`` flushes.
+        self._digest_parts: List[bytes] = []
         # --- reliability (PR 4: repro.faults) ------------------------------
         self.card_failures = 0
         self.card_degradations = 0
@@ -75,6 +118,32 @@ class FleetStatistics:
         self.migration_byte_diffs = 0
         self.total_migration_latency_ns = 0.0
 
+    # --------------------------------------------------------------- plumbing
+    def _note(self, line: bytes) -> None:
+        """Append one line to the schedule-digest stream (batched SHA fold)."""
+        parts = self._digest_parts
+        parts.append(line)
+        if len(parts) >= 256:
+            self._digest.update(b"".join(parts))
+            parts.clear()
+
+    def _new_sojourn(self, label: str):
+        """One sojourn recorder — a reservoir or a sketch, same `.add` API."""
+        if self.mode == "sketch":
+            return StreamingQuantileSketch(relative_error=self.sketch_relative_error)
+        return ReservoirSampler(self.reservoir_capacity, self._rng.fork(label))
+
+    def enable_record_log(self) -> None:
+        if self._record_log is None:
+            self._record_log = []
+
+    def drain_record_log(self) -> List[tuple]:
+        """Return and clear the buffered record tuples (sharded execution)."""
+        if self._record_log is None:
+            return []
+        drained, self._record_log = self._record_log, []
+        return drained
+
     # ------------------------------------------------------------- recording
     def record_arrival(self, tenant: str, arrival_ns: float) -> None:
         self.arrivals += 1
@@ -85,7 +154,9 @@ class FleetStatistics:
     def record_rejection(self, tenant: str, function: str, now_ns: float) -> None:
         self.rejected += 1
         self.per_tenant_rejected[tenant] += 1
-        self._digest.update(f"reject|{tenant}|{function}|{now_ns!r}".encode())
+        self._note(f"reject|{tenant}|{function}|{now_ns!r}".encode())
+        if self._record_log is not None:
+            self._record_log.append(("reject", now_ns, tenant, function))
 
     def record_dispatch(self, tenant: str, card_name: str) -> None:
         self.dispatched += 1
@@ -95,15 +166,15 @@ class FleetStatistics:
     def record_card_failure(self, card_name: str, now_ns: float) -> None:
         self.card_failures += 1
         self.card_down_since.setdefault(card_name, now_ns)
-        self._digest.update(f"kill|{card_name}|{now_ns!r}".encode())
+        self._note(f"kill|{card_name}|{now_ns!r}".encode())
 
     def record_card_degraded(self, card_name: str, now_ns: float) -> None:
         self.card_degradations += 1
-        self._digest.update(f"degrade|{card_name}|{now_ns!r}".encode())
+        self._note(f"degrade|{card_name}|{now_ns!r}".encode())
 
     def record_card_recovered(self, card_name: str, now_ns: float) -> None:
         self.card_recoveries += 1
-        self._digest.update(f"recover|{card_name}|{now_ns!r}".encode())
+        self._note(f"recover|{card_name}|{now_ns!r}".encode())
 
     def record_failover(
         self, tenant: str, function: str, card_name: str, reason: str, now_ns: float
@@ -111,20 +182,20 @@ class FleetStatistics:
         self.failovers += 1
         self.per_tenant_failovers[tenant] += 1
         self.failover_reasons[reason] += 1
-        self._digest.update(
+        self._note(
             f"failover|{tenant}|{function}|{card_name}|{reason}|{now_ns!r}".encode()
         )
 
     def record_heal_order(self, function: str, card_name: str, killed_at_ns: float) -> None:
         self.heal_orders += 1
-        self._digest.update(f"heal-order|{function}|{card_name}|{killed_at_ns!r}".encode())
+        self._note(f"heal-order|{function}|{card_name}|{killed_at_ns!r}".encode())
 
     def record_heal(
         self, function: str, card_name: str, killed_at_ns: float, completed_ns: float
     ) -> None:
         self.heals_completed += 1
         self.total_heal_latency_ns += completed_ns - killed_at_ns
-        self._digest.update(
+        self._note(
             f"heal|{function}|{card_name}|{killed_at_ns!r}|{completed_ns!r}".encode()
         )
 
@@ -132,14 +203,14 @@ class FleetStatistics:
         self, function: str, source: str, dest: str, now_ns: float
     ) -> None:
         self.migration_orders += 1
-        self._digest.update(f"mig-order|{function}|{source}|{dest}|{now_ns!r}".encode())
+        self._note(f"mig-order|{function}|{source}|{dest}|{now_ns!r}".encode())
 
     def record_migration_failed(
         self, function: str, card_name: str, reason: str, now_ns: float
     ) -> None:
         self.migrations_failed += 1
         self.migration_failure_reasons[reason] += 1
-        self._digest.update(
+        self._note(
             f"mig-fail|{function}|{card_name}|{reason}|{now_ns!r}".encode()
         )
 
@@ -160,7 +231,7 @@ class FleetStatistics:
         self.total_migration_latency_ns += completed_ns - ordered_ns
         if not byte_identical:
             self.migration_byte_diffs += 1
-        self._digest.update(
+        self._note(
             f"mig|{function}|{source}|{dest}|{ordered_ns!r}|{completed_ns!r}|"
             f"{frames}|{blob_bytes}|{int(byte_identical)}".encode()
         )
@@ -182,31 +253,63 @@ class FleetStatistics:
             self.per_tenant_hits[tenant] += 1
         else:
             self.misses += 1
-        wait_ns = started_ns - arrival_ns
-        service_ns = completed_ns - started_ns
         sojourn_ns = completed_ns - arrival_ns
-        self.total_wait_ns += wait_ns
-        self.total_service_ns += service_ns
+        self.total_wait_ns += started_ns - arrival_ns
+        self.total_service_ns += completed_ns - started_ns
         self.total_sojourn_ns += sojourn_ns
-        self.last_completion_ns = max(self.last_completion_ns, completed_ns)
+        if completed_ns > self.last_completion_ns:
+            self.last_completion_ns = completed_ns
         self.per_tenant_completed[tenant] += 1
         sampler = self._per_tenant_sojourn.get(tenant)
         if sampler is None:
-            sampler = ReservoirSampler(
-                self.reservoir_capacity, self._rng.fork(f"tenant:{tenant}")
-            )
+            sampler = self._new_sojourn(f"tenant:{tenant}")
             self._per_tenant_sojourn[tenant] = sampler
-        sampler.add(sojourn_ns)
-        self._fleet_sojourn.add(sojourn_ns)
+        over_time = self.completions_over_time
+        if over_time is not None:
+            # Sketch mode: the tenant and fleet sojourn sketches share
+            # geometry, so the bucket index (the only log() on this path) is
+            # computed once and recorded into both.
+            fleet_sojourn = self._fleet_sojourn
+            if sojourn_ns >= fleet_sojourn.min_value:
+                index = fleet_sojourn.bucket_index(sojourn_ns)
+                sampler.add_with_index(sojourn_ns, index)
+                fleet_sojourn.add_with_index(sojourn_ns, index)
+            else:
+                sampler.add(sojourn_ns)
+                fleet_sojourn.add(sojourn_ns)
+            over_time.record(completed_ns)
+        else:
+            sampler.add(sojourn_ns)
+            self._fleet_sojourn.add(sojourn_ns)
         # The hazard marker is appended only when set, so fault-free runs keep
         # the schedule digests they had before the fault layer existed.
-        suffix = "|hz" if hazard else ""
         if hazard:
             self.hazard_completions += 1
-        self._digest.update(
-            f"done|{tenant}|{function}|{card_name}|{int(hit)}|"
+            suffix = "|hz"
+        else:
+            suffix = ""
+        parts = self._digest_parts
+        parts.append(
+            f"done|{tenant}|{function}|{card_name}|{1 if hit else 0}|"
             f"{arrival_ns!r}|{started_ns!r}|{completed_ns!r}{suffix}".encode()
         )
+        if len(parts) >= 256:
+            self._digest.update(b"".join(parts))
+            parts.clear()
+        if self._record_log is not None:
+            self._record_log.append(
+                (
+                    "done",
+                    completed_ns,
+                    tenant,
+                    function,
+                    card_name,
+                    hit,
+                    arrival_ns,
+                    started_ns,
+                    hazard,
+                )
+            )
 
     # -------------------------------------------------------------- derived
     @property
@@ -293,6 +396,10 @@ class FleetStatistics:
 
     def schedule_digest(self) -> str:
         """Hex digest over the completion/rejection stream (determinism probe)."""
+        parts = self._digest_parts
+        if parts:
+            self._digest.update(b"".join(parts))
+            parts.clear()
         return self._digest.hexdigest()
 
     # ------------------------------------------------------------ reporting

@@ -99,6 +99,10 @@ def build_fleet(
     rebalance_min_frame_skew: int = 4,
     defrag_period_ns: Optional[float] = None,
     defrag_moves_per_order: Optional[int] = 1,
+    stats_mode: str = "reservoir",
+    hit_fastpath: bool = False,
+    card_indices: Optional[Sequence[int]] = None,
+    admission_batch: int = 1,
 ):
     """Wire *cards* identical co-processor cards into a ready :class:`Fleet`.
 
@@ -132,7 +136,16 @@ def build_fleet(
         build_host_driver(config=config, bank=bank, functions=functions)
         for _ in range(cards)
     ]
-    fleet = Fleet(drivers, policy=policy, simulator=simulator, queue_depth=queue_depth)
+    fleet = Fleet(
+        drivers,
+        policy=policy,
+        simulator=simulator,
+        queue_depth=queue_depth,
+        stats_mode=stats_mode,
+        hit_fastpath=hit_fastpath,
+        card_indices=card_indices,
+        admission_batch=admission_batch,
+    )
     if fault_tolerance or scrub_period_ns is not None:
         fleet.enable_fault_tolerance(
             scrub_period_ns=scrub_period_ns,

@@ -6,6 +6,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.sketch import StreamingQuantileSketch
 from repro.mcu.microcontroller import RequestOutcome
 from repro.sim.rand import SeededRandom
 
@@ -84,9 +85,17 @@ class CoprocessorStatistics:
     #: Cap on retained per-request latencies (percentiles stay meaningful while
     #: memory stays bounded for very long traces).
     max_recorded_latencies: int = 100_000
+    #: ``"reservoir"`` (default, historical behaviour) keeps a seeded uniform
+    #: sample of latencies; ``"sketch"`` records them into an O(1)-memory
+    #: streaming quantile sketch instead — no retained list, no RNG — for
+    #: million-request runs.  Switch with :meth:`use_sketch` before the first
+    #: request.
+    latency_mode: str = "reservoir"
     _latency_sample: ReservoirSampler = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        if self.latency_mode not in ("reservoir", "sketch"):
+            raise ValueError(f"unknown latency mode {self.latency_mode!r}")
         # The fixed seed keeps percentile results identical across runs and
         # processes; the sampler shares the latencies_ns list so the public
         # field keeps working, and counts any pre-populated values as seen.
@@ -100,10 +109,26 @@ class CoprocessorStatistics:
         )
         self._latency_sample.values = self.latencies_ns
         self._latency_sample.seen = len(self.latencies_ns)
+        self._latency_sketch = (
+            StreamingQuantileSketch() if self.latency_mode == "sketch" else None
+        )
+
+    def use_sketch(self, relative_error: float = 0.01) -> None:
+        """Switch latency recording to the O(1)-memory sketch.
+
+        Only valid before the first request: mixing a half-filled reservoir
+        with a half-filled sketch would make the percentiles meaningless.
+        """
+        if self.requests:
+            raise ValueError("cannot switch latency mode after recording began")
+        self.latency_mode = "sketch"
+        self._latency_sketch = StreamingQuantileSketch(relative_error=relative_error)
 
     @property
     def latencies_seen(self) -> int:
         """How many latencies were offered to the sample (>= len(latencies_ns))."""
+        if self.latency_mode == "sketch":
+            return self._latency_sketch.seen
         return self._latency_sample.seen
 
     # ------------------------------------------------------------- recording
@@ -128,6 +153,9 @@ class CoprocessorStatistics:
         )
         self.per_function_requests[outcome.function] += 1
         self.per_function_latency_ns[outcome.function] += outcome.total_time_ns
+        if self.latency_mode == "sketch":
+            self._latency_sketch.add(outcome.total_time_ns)
+            return
         # Reservoir sampling: below the cap this appends exactly as before;
         # past the cap each new latency displaces a random retained one, so
         # the sample stays uniform over the full trace instead of freezing on
@@ -172,6 +200,42 @@ class CoprocessorStatistics:
                 self.latencies_ns.pop()
         sample.add(outcome.total_time_ns)
 
+    def record_hit_replay(
+        self,
+        outcome: RequestOutcome,
+        function: str,
+        input_bytes: int,
+        output_bytes: int,
+        total_time_ns: float,
+        reconfig_time_ns: float,
+        execute_time_ns: float,
+        data_movement_ns: float,
+    ) -> None:
+        """Fold a replayed clean hit (no evictions) — the memo fast path.
+
+        Bit-identical to :meth:`record` for the same outcome: every addend is
+        precomputed once by the caller with the same left-to-right grouping
+        ``record`` uses (float addition folds identically), and the
+        hit/no-eviction branch outcomes are baked in.  Reservoir mode defers
+        to :meth:`record` so the sampler's rebind/cap bookkeeping stays in one
+        place; sketch mode — the million-request configuration — takes the
+        straight-line path.
+        """
+        if self.latency_mode != "sketch":
+            self.record(outcome, input_bytes)
+            return
+        self.requests += 1
+        self.hits += 1
+        self.bytes_in += input_bytes
+        self.bytes_out += output_bytes
+        self.total_latency_ns += total_time_ns
+        self.total_reconfig_ns += reconfig_time_ns
+        self.total_execute_ns += execute_time_ns
+        self.total_data_movement_ns += data_movement_ns
+        self.per_function_requests[function] += 1
+        self.per_function_latency_ns[function] += total_time_ns
+        self._latency_sketch.add(total_time_ns)
+
     # -------------------------------------------------------------- derived
     @property
     def hit_rate(self) -> float:
@@ -191,6 +255,8 @@ class CoprocessorStatistics:
 
     def latency_percentile(self, percentile: float) -> float:
         """Latency percentile (0..100) over the sampled requests."""
+        if self.latency_mode == "sketch":
+            return self._latency_sketch.percentile(percentile)
         return percentile_of(sorted(self.latencies_ns), percentile)
 
     def mean_latency_for(self, function: str) -> float:

@@ -1,16 +1,30 @@
 """Event primitives for the discrete-event kernel.
 
-The queue has two scheduling paths sharing one heap and one sequence counter:
+The queue has two scheduling paths sharing one sequence counter:
 
 * the :class:`Event` object path (``push`` / ``schedule``) for callers that
   need named events, payloads or cancellation, and
 * an allocation-free fast path (``schedule_call``) that stores a bare
-  ``(time, priority, seq, None, fn, arg1, arg2)`` heap entry — no ``Event``,
+  ``(time, priority, seq, None, fn, arg1, arg2)`` entry — no ``Event``,
   no name string, no closure.  The simulator kernel uses this for every
   continuation it schedules.
 
-Because both paths draw from the same monotonically increasing sequence
-counter and heap entries order by ``(time, priority, seq)``, schedules are
+Storage is a **tiered scheduler**: a binary heap for future events plus a
+plain FIFO deque (``_fifo``) the kernel uses for same-timestamp, priority-0
+continuations — the dominant case when a card drains its queue (store grants,
+resource grants, zero-delay resumes all happen "now").  A deque append/popleft
+is a few times cheaper than a heap sift, and because the kernel only appends
+entries keyed at the current clock time with the globally increasing sequence
+counter, the deque is always sorted by the ``(time, priority, seq)`` key.
+Consumers merge the two tiers by comparing heads, so the dispatch order is
+identical to the single-heap implementation.
+
+(A calendar queue for the future tier was measured and rejected: bucket
+ index arithmetic in Python loses to C ``heapq`` for the heap sizes the
+ fleet produces — see docs/performance.md.)
+
+Because both tiers draw from the same monotonically increasing sequence
+counter and entries order by ``(time, priority, seq)``, schedules are
 deterministic and identical to the all-``Event`` implementation.
 """
 
@@ -18,8 +32,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional
+from typing import Any, Callable, Deque, Iterator, List, Optional
 
 
 @dataclass(order=False)
@@ -68,6 +83,12 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[tuple] = []
+        #: FIFO tier for same-timestamp continuations.  Only the simulator
+        #: kernel appends here (it owns the clock and can prove the entry's
+        #: key is >= every key already in the deque); everyone else goes
+        #: through the heap.  Entries have the same 7-tuple shape as heap
+        #: entries and the deque is always sorted by (time, priority, seq).
+        self._fifo: Deque[tuple] = deque()
         self._counter = itertools.count()
         self._live = 0
 
@@ -123,15 +144,27 @@ class EventQueue:
         self._live += 1
 
     def pop_entry(self) -> tuple:
-        """Remove and return the earliest live heap entry.
+        """Remove and return the earliest live entry across both tiers.
 
         The entry is ``(time_ns, priority, seq, event, fn, arg1, arg2)`` with
         exactly one of ``event`` / ``fn`` set.  This is the kernel's dispatch
-        path; it skips cancelled events without allocating wrappers.
+        path; it skips cancelled events without allocating wrappers.  The two
+        tiers are merged by comparing heads — entry tuples compare by
+        ``(time, priority, seq)`` because sequence numbers are unique, so the
+        comparison never reaches the non-orderable payload fields.
         """
         heap = self._heap
-        while heap:
-            entry = heapq.heappop(heap)
+        fifo = self._fifo
+        while True:
+            if heap:
+                if fifo and fifo[0] < heap[0]:
+                    entry = fifo.popleft()
+                else:
+                    entry = heapq.heappop(heap)
+            elif fifo:
+                entry = fifo.popleft()
+            else:
+                raise IndexError("pop from an empty EventQueue")
             event = entry[3]
             if event is not None:
                 if event.cancelled:
@@ -143,7 +176,6 @@ class EventQueue:
                 event.live_discounted = True
             self._live -= 1
             return entry
-        raise IndexError("pop from an empty EventQueue")
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
@@ -169,16 +201,24 @@ class EventQueue:
         """Return the earliest non-cancelled event without removing it.
 
         A bare-callback entry is materialised into an :class:`Event` *in
-        place* (the heap entry is swapped for an equivalent Event entry, same
-        ordering key), so ``peek().cancel()`` affects the queued entry and
-        repeated peeks return the same object.
+        place* (the queued entry is swapped for an equivalent Event entry,
+        same ordering key), so ``peek().cancel()`` affects the queued entry
+        and repeated peeks return the same object.
         """
         heap = self._heap
-        while heap:
-            entry = heap[0]
+        fifo = self._fifo
+        while True:
+            if heap:
+                use_fifo = bool(fifo) and fifo[0] < heap[0]
+                entry = fifo[0] if use_fifo else heap[0]
+            elif fifo:
+                use_fifo = True
+                entry = fifo[0]
+            else:
+                raise IndexError("peek on an empty EventQueue")
             event = entry[3]
             if event is not None and event.cancelled:
-                heapq.heappop(heap)
+                fifo.popleft() if use_fifo else heapq.heappop(heap)
                 if not event.live_discounted:
                     event.live_discounted = True
                     self._live -= 1
@@ -192,9 +232,12 @@ class EventQueue:
                 callback=lambda _event: fn(arg1, arg2),
             )
             wrapped.sequence = seq
-            heap[0] = (time_ns, priority, seq, wrapped, None, None, None)
+            replacement = (time_ns, priority, seq, wrapped, None, None, None)
+            if use_fifo:
+                fifo[0] = replacement
+            else:
+                heap[0] = replacement
             return wrapped
-        raise IndexError("peek on an empty EventQueue")
 
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event (lazily removed).
@@ -210,6 +253,7 @@ class EventQueue:
 
     def clear(self) -> None:
         self._heap.clear()
+        self._fifo.clear()
         self._live = 0
 
     def drain(self) -> Iterator[Event]:
@@ -221,14 +265,21 @@ class EventQueue:
     def next_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` when empty."""
         heap = self._heap
-        while heap:
-            entry = heap[0]
+        fifo = self._fifo
+        while True:
+            if heap:
+                use_fifo = bool(fifo) and fifo[0] < heap[0]
+                entry = fifo[0] if use_fifo else heap[0]
+            elif fifo:
+                use_fifo = True
+                entry = fifo[0]
+            else:
+                return None
             event = entry[3]
             if event is not None and event.cancelled:
-                heapq.heappop(heap)
+                fifo.popleft() if use_fifo else heapq.heappop(heap)
                 if not event.live_discounted:
                     event.live_discounted = True
                     self._live -= 1
                 continue
             return entry[0]
-        return None

@@ -25,6 +25,8 @@ hit-rate story scales up to.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -318,3 +320,138 @@ def multi_tenant_trace(
         )
     label = name or f"multitenant-{arrival}-{len(tenants)}t-{length}"
     return FleetTrace(requests, name=label)
+
+
+class StreamingFleetTrace:
+    """An O(1)-memory, restartable multi-tenant arrival stream.
+
+    Draw-for-draw identical to ``multi_tenant_trace(..., arrival="poisson")``
+    for the same parameters (asserted by the property tests) but with two
+    properties a million-request run needs:
+
+    * **Streaming** — requests are produced as the fleet consumes them; no
+      10^6-element list is ever materialised.  Memory is O(tenants).
+    * **Restartable** — every ``__iter__`` call replays the byte-identical
+      stream from the start.  The sharded runner leans on this: each worker
+      process regenerates the same stream locally and serves only its own
+      cards' share, so no request objects ever cross a process boundary.
+
+    The per-request cost is also trimmed for scale (precomputed Zipf
+    cumulative tables instead of per-draw weight rebuilding, bound RNG
+    methods, pooled payload bytes, and direct construction of the frozen
+    :class:`FleetRequest` — ``object.__new__`` plus a dict, skipping the
+    frozen-dataclass ``__setattr__`` detour, which is the single largest
+    cost of a naive generator at this scale).
+    """
+
+    def __init__(
+        self,
+        bank: FunctionBank,
+        tenants: Sequence[TenantSpec],
+        length: int,
+        mean_interarrival_ns: float = 50_000.0,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        if length < 0:
+            raise ValueError("trace length cannot be negative")
+        if mean_interarrival_ns <= 0:
+            raise ValueError("the mean inter-arrival time must be positive")
+        for spec in tenants:
+            if spec.mix != "zipf":
+                raise ValueError(
+                    "StreamingFleetTrace supports zipf tenants only "
+                    f"(tenant {spec.name!r} uses {spec.mix!r})"
+                )
+        self.bank = bank
+        self.tenants = list(tenants)
+        self.length = length
+        self.mean_interarrival_ns = mean_interarrival_ns
+        self.seed = seed
+        self.name = name or f"multitenant-stream-{len(tenants)}t-{length}"
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[FleetRequest]:
+        root = SeededRandom(self.seed)
+        arrival_rng = root.fork("arrivals")
+        tenant_rng = root.fork("tenant-choice")
+        streams = [
+            _TenantStream(self.bank, spec, root.fork(f"tenant:{spec.name}"))
+            for spec in self.tenants
+        ]
+        total_weight = sum(spec.weight for spec in self.tenants)
+        cumulative: List[float] = []
+        running = 0.0
+        for spec in self.tenants:
+            running += spec.weight / total_weight
+            cumulative.append(running)
+        last_tenant = len(cumulative) - 1
+
+        # Per-tenant fast-path tables.  The Zipf cumulative sums are built
+        # with the same running addition zipf_index performs, so the bisect
+        # below lands on the identical index for the identical uniform draw.
+        compiled = []
+        for stream in streams:
+            skew = stream.spec.skew
+            weights = [1.0 / ((rank + 1) ** skew) for rank in range(len(stream.names))]
+            zipf_cum: List[float] = []
+            acc = 0.0
+            for weight in weights:
+                acc += weight
+                zipf_cum.append(acc)
+            payloads = [stream.payload_for(function) for function in stream.names]
+            compiled.append(
+                (
+                    stream.spec.name,
+                    stream.names,
+                    payloads,
+                    zipf_cum,
+                    zipf_cum[-1],
+                    stream.rng._rng.random,
+                )
+            )
+
+        # ``expovariate(lambd)`` is ``-log(1 - random()) / lambd`` and
+        # ``uniform(0, x)`` is ``0 + x * random()`` — both consume exactly one
+        # underlying draw and the inlined expressions are bit-identical
+        # (``0.0 + y == y`` and ``1.0 * y == y`` exactly), so the stream stays
+        # draw-for-draw equal to ``multi_tenant_trace`` while skipping two
+        # Python-level calls per request.
+        arrival_random = arrival_rng._rng.random
+        tenant_random = tenant_rng._rng.random
+        log = math.log
+        lambd = 1.0 / self.mean_interarrival_ns
+        new = FleetRequest.__new__
+        cls = FleetRequest
+        # The frozen-dataclass __setattr__ guard also intercepts __dict__
+        # assignment; object.__setattr__ installs the attribute dict in one
+        # call without it.
+        set_dict = object.__setattr__
+        now_ns = 0.0
+        for _ in range(self.length):
+            now_ns += -log(1.0 - arrival_random()) / lambd
+            point = tenant_random()
+            index = bisect_left(cumulative, point)
+            if index > last_tenant:  # point beyond the last edge (rounding)
+                index = last_tenant
+            tenant_name, names, payloads, zipf_cum, zipf_total, random_ = compiled[index]
+            zipf_point = zipf_total * random_()
+            function_index = bisect_left(zipf_cum, zipf_point)
+            if function_index >= len(names):
+                function_index = len(names) - 1
+            request = new(cls)
+            set_dict(
+                request,
+                "__dict__",
+                {
+                    "tenant": tenant_name,
+                    "function": names[function_index],
+                    "payload": payloads[function_index],
+                    "arrival_ns": now_ns,
+                },
+            )
+            yield request

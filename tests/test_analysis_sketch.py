@@ -1,0 +1,203 @@
+"""Property tests for the O(1)-memory streaming statistics sketches.
+
+The documented contract (see ``repro/analysis/sketch.py``): a quantile
+estimate is within relative **value** error ``e`` of the exact nearest-rank
+quantile of the stream, the sketch is a deterministic pure fold (no RNG), and
+two sketches over disjoint halves of a stream merge into the sketch of the
+whole stream.  The property tests below check all three against brute-force
+sorted streams.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.sketch import StreamingQuantileSketch, WindowedTimeSeries
+
+
+def exact_nearest_rank(values, q):
+    """The estimator the sketch documents parity with (index round(q*(n-1)))."""
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+
+def latency_like_stream(seed, count, *, low=200.0, high=5e6):
+    """A clumpy, repeat-heavy positive stream like the fleet's sojourn times."""
+    rng = random.Random(seed)
+    distinct = [math.exp(rng.uniform(math.log(low), math.log(high))) for _ in range(64)]
+    return [distinct[min(int(rng.expovariate(0.15)), 63)] for _ in range(count)]
+
+
+class TestQuantileAccuracy:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    @pytest.mark.parametrize("relative_error", [0.01, 0.05])
+    def test_p50_p95_p99_within_relative_value_error(self, seed, relative_error):
+        values = latency_like_stream(seed, 5_000)
+        sketch = StreamingQuantileSketch(relative_error=relative_error)
+        for value in values:
+            sketch.add(value)
+        for q in (0.50, 0.95, 0.99):
+            exact = exact_nearest_rank(values, q)
+            estimate = sketch.quantile(q)
+            assert abs(estimate - exact) <= relative_error * exact + 1e-9, (
+                f"q={q}: estimate {estimate} vs exact {exact}"
+            )
+
+    def test_uniform_integers_within_bound(self):
+        # A non-clumpy stream: every value distinct, overflowing the bucket memo.
+        values = [float(v) for v in range(1, 4_001)]
+        sketch = StreamingQuantileSketch(relative_error=0.01)
+        for value in values:
+            sketch.add(value)
+        for q in (0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0):
+            exact = exact_nearest_rank(values, q)
+            assert abs(sketch.quantile(q) - exact) <= 0.01 * exact + 1e-9
+
+    def test_extremes_clamped_to_observed_range(self):
+        sketch = StreamingQuantileSketch()
+        for value in (10.0, 100.0, 1000.0):
+            sketch.add(value)
+        assert sketch.quantile(0.0) >= 10.0 - 1e-9
+        assert sketch.quantile(1.0) <= 1000.0 + 1e-9
+
+    def test_memory_is_bounded_by_bucket_count(self):
+        sketch = StreamingQuantileSketch(relative_error=0.01)
+        rng = random.Random(3)
+        for _ in range(50_000):
+            sketch.add(rng.uniform(1.0, 1e9))
+        # log(1e9)/log(gamma) buckets at most — hundreds, never O(n).
+        ceiling = int(math.log(1e9) / math.log(sketch.gamma)) + 2
+        assert sketch.bucket_count <= ceiling
+        assert len(sketch._bucket_memo) <= 1024
+        assert sketch.seen == 50_000
+
+
+class TestDeterminismAndMerge:
+    def test_pure_fold_is_reproducible(self):
+        values = latency_like_stream(9, 2_000)
+        first, second = StreamingQuantileSketch(), StreamingQuantileSketch()
+        for value in values:
+            first.add(value)
+        for value in values:
+            second.add(value)
+        assert first.to_dict() == second.to_dict()
+
+    def test_merge_equals_single_sketch_over_whole_stream(self):
+        values = latency_like_stream(11, 3_000)
+        whole = StreamingQuantileSketch()
+        left, right = StreamingQuantileSketch(), StreamingQuantileSketch()
+        for value in values:
+            whole.add(value)
+        for value in values[: len(values) // 2]:
+            left.add(value)
+        for value in values[len(values) // 2 :]:
+            right.add(value)
+        left.merge(right)
+        assert left._buckets == whole._buckets
+        assert left.seen == whole.seen
+        assert left._sum == pytest.approx(whole._sum)
+        for q in (0.5, 0.95, 0.99):
+            assert left.quantile(q) == whole.quantile(q)
+
+    def test_merge_rejects_mismatched_geometry(self):
+        with pytest.raises(ValueError):
+            StreamingQuantileSketch(relative_error=0.01).merge(
+                StreamingQuantileSketch(relative_error=0.02)
+            )
+
+    def test_add_with_index_matches_add(self):
+        values = latency_like_stream(13, 1_000)
+        plain, indexed = StreamingQuantileSketch(), StreamingQuantileSketch()
+        for value in values:
+            plain.add(value)
+            if value >= indexed.min_value:
+                indexed.add_with_index(value, indexed.bucket_index(value))
+            else:
+                indexed.add(value)
+        assert plain._buckets == indexed._buckets
+        assert plain.seen == indexed.seen
+
+    def test_dict_round_trip(self):
+        sketch = StreamingQuantileSketch(relative_error=0.02, min_value=2.0)
+        for value in (0.5, 3.0, 700.0, 700.0, 1e6):
+            sketch.add(value)
+        clone = StreamingQuantileSketch.from_dict(sketch.to_dict())
+        assert clone.to_dict() == sketch.to_dict()
+        assert clone.quantile(0.95) == sketch.quantile(0.95)
+
+    def test_low_values_counted_not_bucketed(self):
+        sketch = StreamingQuantileSketch(min_value=10.0)
+        sketch.add(0.0)
+        sketch.add(5.0)
+        sketch.add(100.0)
+        assert sketch._low_count == 2
+        assert sketch.seen == 3
+        assert sketch.quantile(0.0) == 10.0  # reported as min_value
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingQuantileSketch().add(-1.0)
+
+
+class TestWindowedTimeSeries:
+    def test_counts_and_sums_per_window(self):
+        series = WindowedTimeSeries(window_ns=100.0)
+        for time_ns, value in ((10, 2.0), (20, 3.0), (150, 1.0), (260, 4.0)):
+            series.record(time_ns, value)
+        assert series.windows() == [(0.0, 2, 5.0), (100.0, 1, 1.0), (200.0, 1, 4.0)]
+        assert series.total_count == 4
+        assert series.total_value == 10.0
+        assert series.peak_rate_per_s() == pytest.approx(2 / (100.0 / 1e9))
+
+    def test_eviction_keeps_totals_and_bounds_memory(self):
+        series = WindowedTimeSeries(window_ns=10.0, max_windows=4)
+        for step in range(100):
+            series.record(step * 10.0)
+        assert len(series._windows) == 4
+        assert series.dropped_windows == 96
+        assert series.total_count == 100
+
+    def test_monotone_cache_matches_dict_path(self):
+        cached = WindowedTimeSeries(window_ns=50.0)
+        for step in range(500):
+            cached.record(step * 7.0, 0.5)
+        # Same stream recorded out of cache-friendly order (shuffled).
+        shuffled = WindowedTimeSeries(window_ns=50.0)
+        times = [step * 7.0 for step in range(500)]
+        random.Random(5).shuffle(times)
+        for time_ns in times:
+            shuffled.record(time_ns, 0.5)
+        assert cached.windows() == shuffled.windows()
+        assert cached.total_value == pytest.approx(shuffled.total_value)
+
+    def test_backward_jump_does_not_cache_evicted_row(self):
+        series = WindowedTimeSeries(window_ns=10.0, max_windows=2)
+        series.record(500.0)
+        series.record(600.0)
+        # Backward jump below every retained window: the new row is evicted
+        # immediately; totals must still count it and the cache must not
+        # point at the orphan.
+        series.record(0.0)
+        assert series.total_count == 3
+        assert series.dropped_windows == 1
+        assert sorted(series._windows) == [50, 60]
+        series.record(600.0)  # must not resurrect the orphan row
+        assert series._windows[60] == [2.0, 2.0]
+
+    def test_merge_window_by_window(self):
+        left = WindowedTimeSeries(window_ns=100.0)
+        right = WindowedTimeSeries(window_ns=100.0)
+        left.record(10.0, 1.0)
+        left.record(110.0, 2.0)
+        right.record(120.0, 3.0)
+        right.record(210.0, 4.0)
+        left.merge(right)
+        assert left.windows() == [(0.0, 1, 1.0), (100.0, 2, 5.0), (200.0, 1, 4.0)]
+        assert left.total_count == 4
+        left.record(110.0, 1.0)  # cache was reset by merge; row must update
+        assert left._windows[1] == [3.0, 6.0]
+
+    def test_merge_rejects_mismatched_width(self):
+        with pytest.raises(ValueError):
+            WindowedTimeSeries(window_ns=10.0).merge(WindowedTimeSeries(window_ns=20.0))

@@ -1,0 +1,198 @@
+"""Sharded fleet execution: merged digests must equal single-process runs.
+
+The determinism argument (static hash routing + card-local timelines +
+restartable traces, see ``repro/cluster/sharded.py``) is checked end to end:
+for shard counts {1, 2, 4} the merged schedule digest, the counters and the
+sojourn sketch must all equal the unsharded reference run.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cluster.dispatch import StaticHashPolicy
+from repro.cluster.sharded import (
+    ShardTraceView,
+    ShardedRunConfig,
+    build_single_process_fleet,
+    merge_shard_records,
+    partition_cards,
+    run_sharded,
+)
+
+#: Small enough for tier-1, long enough to exercise several lockstep epochs
+#: and every card (1500 requests over ~60 ms of simulated time).
+TEST_CONFIG = ShardedRunConfig(total_cards=4, requests=1_500)
+
+
+def fake_card(index, has_room=True):
+    return SimpleNamespace(index=index, has_room=has_room)
+
+
+class TestStaticHashPolicy:
+    def test_home_index_is_pure_and_stable(self):
+        assert StaticHashPolicy.home_index("crc32", 4) == StaticHashPolicy.home_index(
+            "crc32", 4
+        )
+        homes = {StaticHashPolicy.home_index(name, 4) for name in
+                 ("crc32", "aes_round", "fir16", "histogram", "matmul4")}
+        assert homes <= set(range(4))
+
+    def test_choose_routes_to_home_card(self):
+        policy = StaticHashPolicy(total_cards=4)
+        cards = [fake_card(index) for index in range(4)]
+        request = SimpleNamespace(function="crc32")
+        chosen = policy.choose(request, cards)
+        assert chosen.index == StaticHashPolicy.home_index("crc32", 4)
+
+    def test_full_home_card_rejects_rather_than_spills(self):
+        home = StaticHashPolicy.home_index("crc32", 4)
+        cards = [fake_card(index, has_room=(index != home)) for index in range(4)]
+        policy = StaticHashPolicy(total_cards=4)
+        assert policy.choose(SimpleNamespace(function="crc32"), cards) is None
+
+    def test_unhosted_home_card_is_an_error(self):
+        home = StaticHashPolicy.home_index("crc32", 4)
+        cards = [fake_card(index) for index in range(4) if index != home]
+        with pytest.raises(ValueError):
+            StaticHashPolicy(total_cards=4).choose(
+                SimpleNamespace(function="crc32"), cards
+            )
+
+    def test_total_cards_validated(self):
+        with pytest.raises(ValueError):
+            StaticHashPolicy(total_cards=0)
+
+    def test_default_total_is_offered_card_count(self):
+        cards = [fake_card(index) for index in range(3)]
+        chosen = StaticHashPolicy().choose(SimpleNamespace(function="fir16"), cards)
+        assert chosen.index == StaticHashPolicy.home_index("fir16", 3)
+
+
+class TestPartitioning:
+    def test_strided_partition_covers_all_cards_disjointly(self):
+        for shards in (1, 2, 3, 4):
+            partitions = partition_cards(4, shards)
+            assert len(partitions) == shards
+            flat = [index for part in partitions for index in part]
+            assert sorted(flat) == list(range(4))
+
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(ValueError):
+            partition_cards(4, 0)
+        with pytest.raises(ValueError):
+            partition_cards(2, 3)
+
+    def test_trace_view_partitions_the_stream_exactly(self):
+        _, full_trace = build_single_process_fleet(TEST_CONFIG)
+        requests = list(full_trace._trace)
+        views = [
+            ShardTraceView(requests, part, TEST_CONFIG.total_cards)
+            for part in partition_cards(TEST_CONFIG.total_cards, 2)
+        ]
+        shares = [list(view) for view in views]
+        assert sum(len(share) for share in shares) == len(requests)
+        for part, share in zip(partition_cards(TEST_CONFIG.total_cards, 2), shares):
+            homes = set(part)
+            assert all(
+                StaticHashPolicy.home_index(request.function, TEST_CONFIG.total_cards)
+                in homes
+                for request in share
+            )
+
+
+class TestShardedEqualsSingleProcess:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        fleet, trace = build_single_process_fleet(TEST_CONFIG)
+        stats = fleet.run(trace)
+        return fleet, stats
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_merged_digest_equals_single_process(self, reference, shards):
+        _, single_stats = reference
+        result = run_sharded(TEST_CONFIG, shards=shards)
+        assert result.shards == shards
+        assert result.epochs >= 1
+        assert result.stats.schedule_digest() == single_stats.schedule_digest()
+
+    def test_merged_counters_and_sketch_equal_single_process(self, reference):
+        single_fleet, single_stats = reference
+        result = run_sharded(TEST_CONFIG, shards=2)
+        merged = result.stats
+        assert merged.completed == single_stats.completed
+        assert merged.rejected == single_stats.rejected
+        assert merged.arrivals == single_stats.arrivals
+        assert merged.dispatched == single_stats.dispatched
+        assert dict(merged.per_tenant_completed) == dict(
+            single_stats.per_tenant_completed
+        )
+        assert dict(merged.per_card_dispatched) == dict(
+            single_stats.per_card_dispatched
+        )
+        assert merged.first_arrival_ns == single_stats.first_arrival_ns
+        # The sojourn sketches are merged by replay: bit-identical sums and
+        # identical percentiles, not merely "close".
+        assert merged._fleet_sojourn._sum == single_stats._fleet_sojourn._sum
+        for percentile in (50, 95, 99):
+            assert merged.latency_percentile(percentile) == single_stats.latency_percentile(
+                percentile
+            )
+        # Card summaries come back in global card order.
+        names = [row["card"] for row in result.card_summaries]
+        assert names == sorted(names)
+        assert len(names) == TEST_CONFIG.total_cards
+        assert result.events_dispatched > 0
+
+    def test_merge_shard_records_is_order_insensitive_across_shards(self):
+        records_a = [
+            ("done", 100.0, "t0", "crc32", "card0", True, 50.0, 60.0, False),
+            ("reject", 300.0, "t0", "crc32"),
+        ]
+        records_b = [
+            ("done", 200.0, "t1", "fir16", "card1", False, 120.0, 130.0, False),
+        ]
+        first = merge_shard_records([records_a, records_b])
+        second = merge_shard_records([records_b, records_a])
+        assert first.schedule_digest() == second.schedule_digest()
+        assert first.completed == 2 and first.rejected == 1
+
+
+class TestEagerGetScheduleNeutrality:
+    def test_fleet_digest_identical_with_fewer_events(self):
+        """The scale configuration's kernel mode must not change the schedule.
+
+        ``eager_get`` collapses the dispatcher→card store hand-off into a
+        synchronous grant; the fleet workload's schedule digest must be
+        byte-identical to the default kernel's while dispatching fewer
+        events.
+        """
+        from repro.core.builder import build_fleet
+        from repro.core.config import SMALL_CONFIG
+        from repro.functions.bank import build_small_bank
+        from repro.sim.kernel import Simulator
+        from repro.workloads.multitenant import StreamingFleetTrace, default_tenant_mix
+
+        digests = {}
+        events = {}
+        for eager in (False, True):
+            bank = build_small_bank()
+            specs = default_tenant_mix(bank, tenants=3, skew=1.2)
+            stream = StreamingFleetTrace(
+                bank, specs, 800, mean_interarrival_ns=40_000.0, seed=11
+            )
+            fleet = build_fleet(
+                cards=3,
+                config=SMALL_CONFIG.with_overrides(seed=11),
+                bank=bank,
+                policy="affinity",
+                queue_depth=64,
+                stats_mode="sketch",
+                hit_fastpath=True,
+                simulator=Simulator(eager_get=eager),
+            )
+            stats = fleet.run(stream)
+            digests[eager] = stats.schedule_digest()
+            events[eager] = fleet.simulator.events_dispatched
+        assert digests[True] == digests[False]
+        assert events[True] < events[False]

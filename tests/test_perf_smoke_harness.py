@@ -87,6 +87,31 @@ class TestSectionsRunTiny:
         assert fleet["requests_per_s"] > 0
         assert len(fleet["schedule_digest"]) == 16
 
+    def test_kernel_horizon_peek_subsection(self):
+        results = perf_smoke._bench_horizon_peek(pending=64, pauses=50)
+        assert results["dispatched_during_pauses"] == 0
+        assert results["events_after_drain"] == 2 * 64  # starts + timeouts
+        assert results["final_time_ns"] == 1_000_000.0 + 63
+        assert results["pauses_per_s"] > 0
+
+    def test_scale_section_tiny(self):
+        results = perf_smoke.bench_scale(tiny=True)
+        assert set(results) == {"tiny", "sharded"}  # fleet_1m skipped under tiny
+        streaming = results["tiny"]
+        assert streaming["completed"] + streaming["rejected"] == streaming["requests"]
+        assert streaming["rejected"] == 0
+        assert streaming["requests_per_s"] > 0
+        assert len(streaming["schedule_digest"]) == 16
+        # O(1)-memory statistics: the sketch footprint is a few hundred
+        # buckets regardless of the request count.
+        assert 0 < streaming["sketch_buckets"] < 1_000
+        assert streaming["sojourn_p50_ns"] <= streaming["sojourn_p95_ns"]
+        assert streaming["sojourn_p95_ns"] <= streaming["sojourn_p99_ns"]
+        sharded = results["sharded"]
+        assert sharded["digest_match"] is True
+        assert sharded["completed"] + sharded["rejected"] == sharded["requests"]
+        assert sharded["epochs"] >= 1
+
     def test_rebalance_fingerprints_are_deterministic(self):
         first = perf_smoke.bench_rebalance(
             fleet_cards=2, fleet_trace_length=16, defrag_cycles=2
@@ -161,6 +186,22 @@ class TestCheckMode:
         problems = []
         perf_smoke._compare(baseline, fresh_drifted, 0.5, "root", problems)
         assert len(problems) == 1 and "fingerprint" in problems[0]
+
+    def test_tiny_prunes_skipped_scale_keys(self, tmp_path, monkeypatch):
+        baseline = {
+            "tiny": {"requests_per_s": 10.0},
+            "fleet_1m": {"requests_per_s": 10.0},
+        }
+        (tmp_path / perf_smoke.SECTIONS["scale"][1]).write_text(json.dumps(baseline))
+        monkeypatch.setattr(perf_smoke, "REPO_ROOT", tmp_path)
+        fresh = {"scale": {"tiny": {"requests_per_s": 10.0}}}
+        assert perf_smoke.check_against_baselines(fresh, 0.5, tiny=True) == []
+        problems = perf_smoke.check_against_baselines(fresh, 0.5, tiny=False)
+        assert problems and "fleet_1m" in problems[0]
+
+    def test_tiny_write_mode_refused(self):
+        with pytest.raises(SystemExit):
+            perf_smoke.main(["--tiny", "--sections", "kernel"])
 
     def test_missing_key_is_flagged(self):
         problems = []

@@ -214,3 +214,115 @@ class TestProcessJoin:
         simulator.spawn(worker())
         simulator.run()
         assert clock.now == pytest.approx(30.0)
+
+
+class TestMaxEvents:
+    def test_runaway_zero_delay_loop_raises_deterministically(self):
+        simulator = Simulator()
+
+        def spinner():
+            while True:
+                yield Timeout(0.0)  # simulated time never advances
+
+        simulator.spawn(spinner())
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=100)
+        # Deterministic cap: exactly the limit plus the offending dispatch.
+        assert simulator.events_dispatched == 101
+
+    def test_completing_run_is_unaffected_by_a_generous_cap(self):
+        simulator = Simulator()
+
+        def worker():
+            for _ in range(5):
+                yield Timeout(1.0)
+
+        simulator.spawn(worker())
+        assert simulator.run(max_events=1_000) == pytest.approx(5.0)
+
+
+class TestEagerGet:
+    """``Simulator(eager_get=True)``: synchronous store grants.
+
+    A get against a non-empty store resumes the getter inside the current
+    step instead of scheduling a same-instant FIFO event — same values, same
+    timestamps, fewer dispatched events.  Off by default so every historical
+    schedule (and its event count) is untouched.
+    """
+
+    @staticmethod
+    def _producer_consumer(simulator, bursts=5, burst_size=4):
+        # Bursty puts leave the store non-empty at most gets — the case the
+        # eager path collapses into synchronous grants.
+        store = simulator.store()
+        received = []
+
+        def producer():
+            for burst in range(bursts):
+                yield Timeout(1.0)
+                for offset in range(burst_size):
+                    store.put(burst * burst_size + offset)
+
+        def consumer():
+            for _ in range(bursts * burst_size):
+                value = yield store.get()
+                received.append((value, simulator.clock.now))
+
+        simulator.spawn(producer())
+        simulator.spawn(consumer())
+        return received
+
+    def test_same_values_and_times_with_fewer_events(self):
+        default = Simulator()
+        default_received = self._producer_consumer(default)
+        default.run()
+
+        eager = Simulator(eager_get=True)
+        eager_received = self._producer_consumer(eager)
+        eager.run()
+
+        assert eager_received == default_received
+        assert eager.clock.now == default.clock.now
+        assert eager.events_dispatched < default.events_dispatched
+
+    def test_synchronous_grants_do_not_count_against_max_events(self):
+        def drain(store, count):
+            for _ in range(count):
+                yield store.get()
+
+        eager = Simulator(eager_get=True)
+        store = eager.store()
+        for value in range(50):
+            store.put(value)
+        eager.spawn(drain(store, 50))
+        # One dispatched start event; the 50 grants happen inside that step.
+        eager.run(max_events=2)
+        assert eager.events_dispatched == 1
+
+        default = Simulator()
+        store = default.store()
+        for value in range(50):
+            store.put(value)
+        default.spawn(drain(store, 50))
+        with pytest.raises(SimulationError):
+            default.run(max_events=2)
+
+    def test_empty_store_still_blocks_under_eager(self):
+        simulator = Simulator(eager_get=True)
+        store = simulator.store()
+        received = []
+
+        def producer():
+            yield Timeout(7.0)
+            store.put("late")
+
+        def consumer():
+            received.append(((yield store.get()), simulator.clock.now))
+
+        simulator.spawn(consumer())
+        simulator.spawn(producer())
+        simulator.run()
+        assert received == [("late", 7.0)]
+
+    def test_off_by_default(self):
+        assert Simulator().eager_get is False
