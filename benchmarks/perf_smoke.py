@@ -4,7 +4,7 @@ rebalance and million-request scale.
 Runs in a few seconds (tens of seconds with the full scale section) and
 writes ``BENCH_codecs.json`` / ``BENCH_kernel.json`` / ``BENCH_device.json``
 / ``BENCH_cluster.json`` / ``BENCH_faults.json`` / ``BENCH_rebalance.json`` /
-``BENCH_scale.json`` at the repo root so successive PRs leave a perf
+``BENCH_scale.json`` / ``BENCH_net.json`` at the repo root so successive PRs leave a perf
 trajectory to compare against.
 
 Usage::
@@ -979,6 +979,116 @@ def bench_scale(tiny: bool = False) -> dict:
     return results
 
 
+def bench_net(
+    cards: int = 2,
+    gateways: int = 2,
+    trace_length: int = 200,
+    mean_interarrival_ns: float = 30_000.0,
+) -> dict:
+    """Network layer: front-door gateway throughput plus a schedule fingerprint.
+
+    Runs a fixed client load through the whole net stack — open-loop clients,
+    2% lossy links, two gateways with token-bucket admission, the retrying
+    deadline transport — and records the wall-clock gateway request rate
+    together with a behavioural fingerprint (kernel events, final time, every
+    net counter, the schedule digest) so any drift in the loss/retry/backoff
+    schedule fails ``--check`` byte-for-byte.
+    """
+    from repro.core.builder import build_fleet, build_frontdoor
+    from repro.core.config import SMALL_CONFIG
+    from repro.functions.bank import build_small_bank
+    from repro.net import AdmissionConfig, LinkSpec, OpenLoopPopulation, TransportConfig
+    from repro.workloads.multitenant import default_tenant_mix, multi_tenant_trace
+
+    bank = build_small_bank()
+    specs = default_tenant_mix(bank, tenants=3, skew=1.2)
+    trace = multi_tenant_trace(
+        bank,
+        specs,
+        length=trace_length,
+        mean_interarrival_ns=mean_interarrival_ns,
+        seed=23,
+    )
+
+    def run_frontdoor():
+        fleet = build_fleet(
+            cards=cards,
+            config=SMALL_CONFIG.with_overrides(seed=23),
+            bank=bank,
+            policy="affinity",
+            queue_depth=8,
+        )
+        frontdoor = build_frontdoor(
+            fleet,
+            seed=23,
+            gateways=gateways,
+            uplink=LinkSpec(latency_ns=20_000.0, loss=0.02, jitter_ns=4_000.0),
+            transport=TransportConfig(),
+            admission=AdmissionConfig(rate_per_s=14_000.0, burst=8.0),
+            priorities={specs[0].name: 1},
+            deadline_ns=30_000_000.0,
+        )
+        frontdoor.add_population(OpenLoopPopulation(trace))
+        start = time.perf_counter()
+        stats = frontdoor.run()
+        elapsed = time.perf_counter() - start
+        return frontdoor, stats, elapsed
+
+    run_frontdoor()  # warm the bitstream/netlist caches before timing
+    fingerprint = None
+    best_rate = 0.0
+    elapsed_total = 0.0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while elapsed_total < _MIN_SECONDS:
+            frontdoor, stats, elapsed = run_frontdoor()
+            elapsed_total += elapsed
+            links = frontdoor.link_summary()
+            run_print = (
+                frontdoor.fleet.simulator.events_dispatched,
+                frontdoor.fleet.clock.now,
+                stats.net_requests,
+                stats.net_completed,
+                stats.net_failed,
+                stats.net_retries,
+                stats.shed_total,
+                stats.expired,
+                stats.duplicates_served,
+                links["lost"],
+                stats.schedule_digest()[:16],
+            )
+            if fingerprint is None:
+                fingerprint = run_print
+            elif run_print != fingerprint:
+                raise AssertionError(
+                    f"non-deterministic front door: {run_print} != {fingerprint}"
+                )
+            best_rate = max(best_rate, stats.net_completed / elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "frontdoor": {
+            "cards": cards,
+            "gateways": gateways,
+            "requests": trace_length,
+            "events_dispatched": fingerprint[0],
+            "final_time_ns": fingerprint[1],
+            "net_requests": fingerprint[2],
+            "net_completed": fingerprint[3],
+            "net_failed": fingerprint[4],
+            "net_retries": fingerprint[5],
+            "shed": fingerprint[6],
+            "expired": fingerprint[7],
+            "duplicates_served": fingerprint[8],
+            "packets_lost": fingerprint[9],
+            "schedule_digest": fingerprint[10],
+            "requests_per_s": round(best_rate, 1),
+        }
+    }
+
+
 def _warm_up(seconds: float = 0.3) -> None:
     """Spin briefly so frequency governors reach steady state before timing."""
     deadline = time.perf_counter() + seconds
@@ -996,6 +1106,7 @@ SECTIONS = {
     "faults": (bench_faults, "BENCH_faults.json"),
     "rebalance": (bench_rebalance, "BENCH_rebalance.json"),
     "scale": (bench_scale, "BENCH_scale.json"),
+    "net": (bench_net, "BENCH_net.json"),
 }
 
 #: per-section baseline keys absent from a ``--tiny`` run (pruned before

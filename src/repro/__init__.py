@@ -15,6 +15,8 @@ The package models, in pure Python, every block of the paper's architecture:
 * the agile co-processor itself together with the host-side driver
   (:mod:`repro.core`),
 * a multi-card fleet with affinity-aware dispatch (:mod:`repro.cluster`),
+* a network front door — client populations, lossy links, gateways with
+  admission control, deadline-aware retrying transport (:mod:`repro.net`),
 * baselines, workload generators and analysis helpers
   (:mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.analysis`).
 
@@ -35,6 +37,7 @@ from repro.core.builder import (
     build_coprocessor,
     build_default_coprocessor,
     build_fleet,
+    build_frontdoor,
     build_function_bank,
 )
 
@@ -48,6 +51,7 @@ __all__ = [
     "build_coprocessor",
     "build_default_coprocessor",
     "build_fleet",
+    "build_frontdoor",
     "build_function_bank",
     "__version__",
 ]

@@ -42,10 +42,10 @@ requests, so reliability spends real card time — the trade-off E10 sweeps.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.dispatch import DispatchPolicy, build_dispatch_policy
+from repro.cluster.arrivals import open_arrivals
+from repro.cluster.dispatch import DispatchPolicy, build_dispatch_policy, request_expired
 from repro.cluster.fastpath import ServeMemo
 from repro.cluster.stats import FleetStatistics
 from repro.core.exceptions import CoprocessorError
@@ -386,6 +386,15 @@ class Fleet:
         #: producing fresh generators; re-spawned by run() when finished.
         self._services: List[Tuple[str, Callable]] = []
         self._service_processes: Dict[str, object] = {}
+        # Network front door (PR 7; both None until a FrontDoor installs them).
+        #: Called as ``callback(request, outcome, now_ns)`` with outcome one of
+        #: ``"completed"`` / ``"rejected"`` / ``"expired"`` — how a gateway
+        #: learns a dispatched request's terminal fate.
+        self.on_request_outcome: Optional[Callable] = None
+        #: Extra idleness veto: while it returns False the fleet is not idle
+        #: even with empty queues (a front door still has traffic in flight,
+        #: so periodic services must keep running between packets).
+        self.idle_hook: Optional[Callable[[], bool]] = None
         # Bind last, so a failed construction does not poison the instance.
         self.policy._fleet_bound = True
 
@@ -432,6 +441,14 @@ class Fleet:
                 if order is None:
                     continue
                 request, tried = order
+            deadline = request.deadline_ns
+            if deadline is not None and clock._now > deadline:
+                # Expired in queue: fail fast with its own counter — a late
+                # result would be discarded by every real client anyway, so
+                # serving it would only burn card time and hide the overload.
+                card.outstanding -= 1
+                self._expire(request)
+                continue
             if card.health == "down":
                 card.outstanding -= 1
                 self._failover(request, card, "dead-queue", tried)
@@ -481,6 +498,9 @@ class Fleet:
                 clock._now,
                 hazard,
             )
+            callback = self.on_request_outcome
+            if callback is not None:
+                callback(request, "completed", clock._now)
 
     def _worker_order(self, card: FleetCard, item):
         """Handle one non-request queue item (OS-level orders).
@@ -669,6 +689,9 @@ class Fleet:
         stats = self.stats
         if card is None:
             stats.record_rejection(request.tenant, request.function, self.clock.now)
+            callback = self.on_request_outcome
+            if callback is not None:
+                callback(request, "rejected", self.clock.now)
             return
         card.outstanding += 1
         # record_dispatch, inlined (once per admitted request).
@@ -684,7 +707,34 @@ class Fleet:
         stats.per_tenant_arrivals[request.tenant] += 1
         if stats.first_arrival_ns is None:
             stats.first_arrival_ns = request.arrival_ns
+        if request.deadline_ns is not None and request_expired(
+            request, self.clock._now
+        ):
+            # Dead on arrival (e.g. delivered late by a congested front-door
+            # link): never admitted, so no card time is spent on it.
+            self._expire(request)
+            return
         self._route(request, self.cards)
+
+    def _expire(self, request: FleetRequest) -> None:
+        """Fail a deadline-expired request fast and tell the front door."""
+        now = self.clock.now
+        self.stats.record_expired(request.tenant, request.function, now)
+        callback = self.on_request_outcome
+        if callback is not None:
+            callback(request, "expired", now)
+
+    def submit(self, request: FleetRequest) -> None:
+        """Admit one externally-delivered request at the current instant.
+
+        The gateway-facing entry point: a network front door delivers
+        requests one at a time as their packets arrive instead of through a
+        paced arrival trace, so there is no arrivals process — workers are
+        spawned on first use and periodic services are the front door's
+        responsibility (it spawns them alongside its own pumps).
+        """
+        self._spawn_workers()
+        self._dispatch(request)
 
     def _failover(
         self, request: FleetRequest, failed: FleetCard, reason: str, tried: frozenset
@@ -706,70 +756,23 @@ class Fleet:
         candidates = [card for card in self.cards if card.index not in tried]
         if not candidates:
             self.stats.record_rejection(request.tenant, request.function, self.clock.now)
+            callback = self.on_request_outcome
+            if callback is not None:
+                callback(request, "rejected", self.clock.now)
             return
         self._route(request, candidates, tried)
 
     def _arrivals(self, trace: FleetTrace):
-        # The trace's arrival_ns are relative to the start of this run: on a
-        # reused fleet the kernel clock has already advanced, so requests are
-        # re-stamped onto the current timeline (a plain offset keeps the
-        # first run, where the offset is zero, bit-identical).
-        clock = self.clock
-        offset = clock._now
-        arrival_timeout = Timeout(0.0)
-        dispatch = self._dispatch
-        if self.admission_batch > 1:
-            yield from self._arrivals_batched(trace, self.admission_batch)
-            return
-        for request in trace:
-            if offset:
-                request = replace(request, arrival_ns=request.arrival_ns + offset)
-            delay = request.arrival_ns - clock._now
-            if delay > 0:
-                # Reused Timeout (consumed synchronously by the kernel).
-                arrival_timeout.delay_ns = delay
-                yield arrival_timeout
-            dispatch(request)
-
-    def _arrivals_batched(self, trace: FleetTrace, batch: int):
-        """Admit requests in front-door groups of *batch*.
-
-        A group is released to the dispatcher at its **last** member's
-        arrival instant: each request keeps its own ``arrival_ns`` (waiting
-        time is charged from true arrival), but dispatch — and service start
-        on an otherwise idle card — can lag a request's arrival by up to the
-        group's arrival span.  The schedule is exactly as deterministic and
-        shard-mergeable as the unbatched path; it is simply the schedule of a
-        fleet whose front door coalesces admissions, which is how the
-        million-request scale benchmark amortises its per-request kernel
-        timer event.
-        """
-        clock = self.clock
-        offset = clock._now
-        arrival_timeout = Timeout(0.0)
-        dispatch = self._dispatch
-        pending: List[FleetRequest] = []
-        append = pending.append
-        for request in trace:
-            if offset:
-                request = replace(request, arrival_ns=request.arrival_ns + offset)
-            append(request)
-            if len(pending) < batch:
-                continue
-            delay = request.arrival_ns - clock._now
-            if delay > 0:
-                arrival_timeout.delay_ns = delay
-                yield arrival_timeout
-            for queued in pending:
-                dispatch(queued)
-            pending.clear()
-        if pending:
-            delay = pending[-1].arrival_ns - clock._now
-            if delay > 0:
-                arrival_timeout.delay_ns = delay
-                yield arrival_timeout
-            for queued in pending:
-                dispatch(queued)
+        """Trace delivery, shared with the network layer's client
+        populations: :func:`repro.cluster.arrivals.open_arrivals` paces the
+        trace (re-stamped onto the current timeline on a reused kernel) and
+        ``admission_batch`` selects front-door group admission, where each
+        group is released at its **last** member's arrival instant — the
+        interrupt-coalescing discipline the million-request scale benchmark
+        uses to amortise per-request kernel timer events."""
+        return open_arrivals(
+            trace, self.clock, self._dispatch, batch=self.admission_batch
+        )
 
     # ------------------------------------------------------- fault tolerance
     @property
@@ -781,6 +784,8 @@ class Fleet:
         trace is served.
         """
         if self._arrivals_process is not None and not self._arrivals_process.finished:
+            return False
+        if self.idle_hook is not None and not self.idle_hook():
             return False
         return all(card.outstanding == 0 for card in self.cards)
 

@@ -117,6 +117,37 @@ class FleetStatistics:
         #: property the E11 acceptance gate asserts).
         self.migration_byte_diffs = 0
         self.total_migration_latency_ns = 0.0
+        # --- deadlines + network front door (PR 7: repro.net) --------------
+        #: Requests whose deadline had passed at dispatch or when a card
+        #: worker popped them from its queue — failed fast, never served late.
+        self.expired = 0
+        self.per_tenant_expired: Dict[str, int] = defaultdict(int)
+        #: Client-visible (network-layer) counters.  ``net_requests`` counts
+        #: logical requests submitted by client populations; every one ends
+        #: exactly once in ``net_completed`` or ``net_failed`` (by reason).
+        self.net_requests = 0
+        self.net_attempts = 0
+        self.net_retries = 0
+        self.net_timeouts = 0
+        self.net_completed = 0
+        self.net_failed = 0
+        self.net_failure_reasons: Dict[str, int] = defaultdict(int)
+        self.shed_total = 0
+        self.breaker_opens = 0
+        self.breaker_fast_fails = 0
+        #: Gateway dedup: retransmits of an in-flight request are suppressed;
+        #: retransmits of a completed one are answered from the response
+        #: cache — either way the request never executes twice.
+        self.duplicates_suppressed = 0
+        self.duplicates_served = 0
+        self.per_priority_requests: Dict[int, int] = defaultdict(int)
+        self.per_priority_completed: Dict[int, int] = defaultdict(int)
+        self.per_priority_shed: Dict[int, int] = defaultdict(int)
+        self.total_net_latency_ns = 0.0
+        #: Network-time-inclusive end-to-end latency recorder (first client
+        #: send to response delivery).  Built lazily so fleets that never see
+        #: network traffic keep their historical memory footprint.
+        self._net_latency = None
 
     # --------------------------------------------------------------- plumbing
     def _note(self, line: bytes) -> None:
@@ -236,6 +267,66 @@ class FleetStatistics:
             f"{frames}|{blob_bytes}|{int(byte_identical)}".encode()
         )
 
+    # Deadline / network-front-door recording (PR 7).  Every digest line in
+    # this block only occurs when deadlines or the net layer are in use, so
+    # legacy runs keep the schedule digests they had before either existed.
+    def record_expired(self, tenant: str, function: str, now_ns: float) -> None:
+        self.expired += 1
+        self.per_tenant_expired[tenant] += 1
+        self._note(f"expire|{tenant}|{function}|{now_ns!r}".encode())
+        if self._record_log is not None:
+            self._record_log.append(("expire", now_ns, tenant, function))
+
+    def record_net_request(self, priority: int) -> None:
+        self.net_requests += 1
+        self.per_priority_requests[priority] += 1
+
+    def record_net_attempt(self, retry: bool) -> None:
+        self.net_attempts += 1
+        if retry:
+            self.net_retries += 1
+
+    def record_net_timeout(self) -> None:
+        self.net_timeouts += 1
+
+    def record_net_completion(
+        self,
+        request_id: int,
+        tenant: str,
+        function: str,
+        priority: int,
+        first_send_ns: float,
+        completed_ns: float,
+        attempts: int,
+    ) -> None:
+        self.net_completed += 1
+        self.per_priority_completed[priority] += 1
+        latency_ns = completed_ns - first_send_ns
+        self.total_net_latency_ns += latency_ns
+        if self._net_latency is None:
+            self._net_latency = self._new_sojourn("net")
+        self._net_latency.add(latency_ns)
+        self._note(
+            f"net-done|{request_id}|{tenant}|{function}|{attempts}|"
+            f"{first_send_ns!r}|{completed_ns!r}".encode()
+        )
+
+    def record_net_failure(
+        self, request_id: int, tenant: str, priority: int, reason: str, now_ns: float
+    ) -> None:
+        self.net_failed += 1
+        self.net_failure_reasons[reason] += 1
+        self._note(f"net-fail|{request_id}|{tenant}|{reason}|{now_ns!r}".encode())
+
+    def record_shed(self, tenant: str, priority: int, now_ns: float) -> None:
+        self.shed_total += 1
+        self.per_priority_shed[priority] += 1
+        self._note(f"shed|{tenant}|{priority}|{now_ns!r}".encode())
+
+    def record_breaker_open(self, gateway_name: str, now_ns: float) -> None:
+        self.breaker_opens += 1
+        self._note(f"breaker|{gateway_name}|{now_ns!r}".encode())
+
     def record_completion(
         self,
         tenant: str,
@@ -343,6 +434,30 @@ class FleetStatistics:
         return self.completed / self.arrivals if self.arrivals else 1.0
 
     @property
+    def client_availability(self) -> float:
+        """Fraction of *client* requests completed through the front door.
+
+        This is availability as the users behind the network experience it:
+        retries that eventually succeed count as available, requests lost to
+        deadlines/shedding/breakers count against it.  1.0 when the net layer
+        is unused.
+        """
+        return self.net_completed / self.net_requests if self.net_requests else 1.0
+
+    @property
+    def mean_net_latency_ns(self) -> float:
+        """Mean network-inclusive end-to-end latency (first send → response)."""
+        return (
+            self.total_net_latency_ns / self.net_completed if self.net_completed else 0.0
+        )
+
+    def net_latency_percentile(self, percentile: float) -> float:
+        """Network-inclusive end-to-end latency percentile (0 when unused)."""
+        if self._net_latency is None:
+            return 0.0
+        return self._net_latency.percentile(percentile)
+
+    @property
     def silent_corruption_rate(self) -> float:
         """Fraction of completions that executed over corrupted frames."""
         return self.hazard_completions / self.completed if self.completed else 0.0
@@ -439,6 +554,27 @@ class FleetStatistics:
             "p99_sojourn_us": p99 / 1e3,
         }
 
+    def net_summary(self) -> Dict[str, float]:
+        """Client-visible front-door picture (all zeros when the net layer
+        is unused)."""
+        return {
+            "net_requests": float(self.net_requests),
+            "net_completed": float(self.net_completed),
+            "net_failed": float(self.net_failed),
+            "net_attempts": float(self.net_attempts),
+            "net_retries": float(self.net_retries),
+            "net_timeouts": float(self.net_timeouts),
+            "shed_total": float(self.shed_total),
+            "expired": float(self.expired),
+            "breaker_opens": float(self.breaker_opens),
+            "breaker_fast_fails": float(self.breaker_fast_fails),
+            "duplicates_suppressed": float(self.duplicates_suppressed),
+            "duplicates_served": float(self.duplicates_served),
+            "client_availability": self.client_availability,
+            "mean_net_latency_us": self.mean_net_latency_ns / 1e3,
+            "p95_net_latency_us": self.net_latency_percentile(95) / 1e3,
+        }
+
     def describe(self) -> str:
         p50, p95, p99 = self._fleet_sojourn.percentiles((50, 95, 99))
         lines = [
@@ -449,6 +585,14 @@ class FleetStatistics:
             f"p50 / p95 / p99 sojourn         : {p50 / 1e3:.2f} / {p95 / 1e3:.2f} / {p99 / 1e3:.2f} us",
             f"throughput                      : {self.throughput_requests_per_s:.1f} req/s",
         ]
+        if self.net_requests:
+            lines.append(
+                f"front door                      : {self.net_completed}/{self.net_requests} "
+                f"completed (availability {self.client_availability:.3f}), "
+                f"{self.net_retries} retries, {self.shed_total} shed, "
+                f"{self.expired} expired, p95 e2e "
+                f"{self.net_latency_percentile(95) / 1e3:.2f} us"
+            )
         for tenant in self.tenants():
             row = self.per_tenant_summary(tenant)
             lines.append(

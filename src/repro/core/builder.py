@@ -169,3 +169,44 @@ def build_fleet(
 
         fleet.install_faults(FaultInjector(fault_spec))
     return fleet
+
+
+def build_frontdoor(
+    fleet,
+    seed: int = 0,
+    gateways: int = 1,
+    uplink=None,
+    downlink=None,
+    transport=None,
+    admission=None,
+    priorities=None,
+    deadline_ns: Optional[float] = None,
+    probe_period_ns: float = 1_000_000.0,
+):
+    """Put *fleet* behind a network front door (see :mod:`repro.net`).
+
+    ``seed`` roots the net layer's own randomness (link loss/jitter draws,
+    backoff jitter) in a :class:`~repro.sim.rand.SeededRandom` fork tree that
+    is independent of the workload's, so toggling network features never
+    perturbs trace generation.  ``uplink``/``downlink`` are
+    :class:`~repro.net.link.LinkSpec` (downlink defaults to the uplink spec),
+    ``transport`` a :class:`~repro.net.transport.TransportConfig`,
+    ``admission`` an :class:`~repro.net.gateway.AdmissionConfig` (``None``
+    admits everything), ``priorities`` a tenant→priority map and
+    ``deadline_ns`` the per-request deadline budget from first send.
+    """
+    from repro.net import FrontDoor
+    from repro.sim.rand import SeededRandom
+
+    return FrontDoor(
+        fleet,
+        SeededRandom(seed).fork("net"),
+        gateways=gateways,
+        uplink=uplink,
+        downlink=downlink,
+        transport=transport,
+        admission=admission,
+        priorities=priorities,
+        deadline_ns=deadline_ns,
+        probe_period_ns=probe_period_ns,
+    )

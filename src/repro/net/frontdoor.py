@@ -1,0 +1,205 @@
+"""FrontDoor: one object that wires clients → links → gateways → fleet.
+
+The front door owns the net layer's plumbing on the fleet's own kernel:
+per-gateway uplink/downlink :class:`~repro.net.link.Link` pairs, the
+:class:`~repro.net.gateway.Gateway` hosts, one
+:class:`~repro.net.transport.Transport` shared by every client population,
+the request-id counter, the tenant→priority map and the deadline budget.
+It installs two hooks on the fleet:
+
+* ``fleet.on_request_outcome`` — routes each terminal verdict (completed /
+  rejected / expired) back to the admitting gateway's downlink.
+* ``fleet.idle_hook`` — vetoes fleet idleness while client populations are
+  still running or requests are still in flight, so periodic services
+  (scrubbers, healers, fault injectors, gateway probes) keep running
+  between packets instead of self-terminating at the first quiet instant.
+
+A fleet with no front door installed behaves exactly as before — both hooks
+default to ``None`` and every pre-network schedule digest is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.fleet import Fleet
+from repro.net.gateway import AdmissionConfig, Gateway
+from repro.net.link import Link, LinkSpec
+from repro.net.transport import GatewayRequest, Transport, TransportConfig
+from repro.sim.rand import SeededRandom
+from repro.workloads.multitenant import FleetRequest
+
+
+class FrontDoor:
+    """The network stack in front of one fleet."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        rng: SeededRandom,
+        gateways: int = 1,
+        uplink: Optional[LinkSpec] = None,
+        downlink: Optional[LinkSpec] = None,
+        transport: Optional[TransportConfig] = None,
+        admission: Optional[AdmissionConfig] = None,
+        priorities: Optional[Dict[str, int]] = None,
+        deadline_ns: Optional[float] = None,
+        probe_period_ns: float = 1_000_000.0,
+    ) -> None:
+        if gateways < 1:
+            raise ValueError("a front door needs at least one gateway")
+        if deadline_ns is not None and deadline_ns <= 0:
+            raise ValueError("the deadline budget must be positive")
+        self.fleet = fleet
+        self.rng = rng
+        uplink = uplink if uplink is not None else LinkSpec()
+        downlink = downlink if downlink is not None else uplink
+        #: Per-tenant admission class (default 0 = bulk; >0 sheds last).
+        self.priorities = dict(priorities) if priorities else {}
+        #: Per-request deadline budget from first send (None = no deadlines).
+        self.deadline_ns = deadline_ns
+        self.gateways: List[Gateway] = []
+        self.uplinks: List[Link] = []
+        self.downlinks: List[Link] = []
+        for index in range(gateways):
+            down = Link(
+                fleet.simulator,
+                downlink,
+                self._on_response,
+                rng.fork(f"net.link.down{index}"),
+                name=f"down{index}",
+            )
+            gateway = Gateway(
+                index,
+                fleet,
+                down,
+                admission=admission,
+                probe_period_ns=probe_period_ns,
+            )
+            up = Link(
+                fleet.simulator,
+                uplink,
+                gateway.on_request,
+                rng.fork(f"net.link.up{index}"),
+                name=f"up{index}",
+            )
+            self.gateways.append(gateway)
+            self.uplinks.append(up)
+            self.downlinks.append(down)
+        self.transport = Transport(
+            fleet.simulator,
+            fleet.stats,
+            self.uplinks,
+            transport if transport is not None else TransportConfig(),
+            rng.fork("net.backoff"),
+        )
+        self._next_id = 0
+        self._populations: List[object] = []
+        self._population_processes: List[object] = []
+        self._infra_processes: Dict[str, object] = {}
+        fleet.on_request_outcome = self._on_fleet_outcome
+        fleet.idle_hook = self._net_idle
+
+    # ------------------------------------------------------------- requests
+    def make_request(
+        self, base: FleetRequest, priority: Optional[int] = None
+    ) -> GatewayRequest:
+        """Stamp a workload request into a network request *now*.
+
+        Called by a population at the instant it launches the request: the
+        id comes off the shared counter, the priority from the tenant map
+        (unless forced), the deadline from the budget, and the home-gateway
+        hint round-robins over the gateways.
+        """
+        request_id = self._next_id
+        self._next_id = request_id + 1
+        now = self.fleet.clock._now
+        return GatewayRequest(
+            tenant=base.tenant,
+            function=base.function,
+            payload=base.payload,
+            arrival_ns=now,
+            deadline_ns=None if self.deadline_ns is None else now + self.deadline_ns,
+            request_id=request_id,
+            priority=(
+                priority
+                if priority is not None
+                else self.priorities.get(base.tenant, 0)
+            ),
+            gateway_index=request_id % len(self.gateways),
+        )
+
+    def _on_response(self, packet) -> None:
+        self.transport.on_response(packet)
+
+    def _on_fleet_outcome(self, request, outcome: str, now_ns: float) -> None:
+        if isinstance(request, GatewayRequest):
+            self.gateways[request.gateway_index].finish(request, outcome, now_ns)
+
+    def _net_idle(self) -> bool:
+        """Idle veto for the fleet: traffic in flight means *not* idle."""
+        if self.transport.in_flight:
+            return False
+        return all(process.finished for process in self._population_processes)
+
+    # ------------------------------------------------------------------ run
+    def add_population(self, population) -> None:
+        """Queue a client population for the next :meth:`run`."""
+        self._populations.append(population)
+
+    def _spawn_infrastructure(self) -> None:
+        factories = {}
+        for index, link in enumerate(self.uplinks):
+            factories[f"net-up{index}"] = link.pump
+        for index, link in enumerate(self.downlinks):
+            factories[f"net-down{index}"] = link.pump
+        for gateway in self.gateways:
+            factories[f"net-probe-{gateway.name}"] = gateway.probe
+        for name, factory in factories.items():
+            process = self._infra_processes.get(name)
+            if process is None or process.finished:
+                self._infra_processes[name] = self.fleet.simulator.spawn(
+                    factory(), name=name
+                )
+
+    def run(self, until_ns: Optional[float] = None):
+        """Serve every queued population to quiescence; returns fleet stats."""
+        if not self._populations:
+            raise ValueError("add at least one client population before run()")
+        fleet = self.fleet
+        fleet._spawn_workers()
+        fleet._spawn_services()
+        self._spawn_infrastructure()
+        for population in self._populations:
+            for name, generator in population.processes(self):
+                self._population_processes.append(
+                    fleet.simulator.spawn(generator, name=name)
+                )
+        self._populations = []
+        fleet.simulator.run(until_ns)
+        return fleet.stats
+
+    # ------------------------------------------------------------- forensics
+    def link_summary(self) -> Dict[str, int]:
+        """Aggregate packet accounting across every link, both directions."""
+        totals = {"offered": 0, "delivered": 0, "lost": 0, "dropped": 0}
+        for link in self.uplinks + self.downlinks:
+            totals["offered"] += link.offered
+            totals["delivered"] += link.delivered
+            totals["lost"] += link.lost
+            totals["dropped"] += link.dropped
+        return totals
+
+    def fingerprint(self) -> tuple:
+        """Cross-process comparable run identity (net counters + schedule)."""
+        stats = self.fleet.stats
+        return (
+            stats.net_requests,
+            stats.net_completed,
+            stats.net_failed,
+            stats.net_retries,
+            stats.shed_total,
+            stats.expired,
+            self.fleet.clock.now,
+            stats.schedule_digest(),
+        )

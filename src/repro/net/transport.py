@@ -1,0 +1,329 @@
+"""Client-side request transport: deadlines, retries, circuit breaking.
+
+Every logical client request gets one :class:`_Pending` record for its whole
+lifetime.  The transport sends an attempt up a gateway link, arms a per-hop
+timeout watcher, and reacts to whichever comes back first: a response packet
+(complete), a shed packet (back off and retry — backpressure is not a
+gateway failure), an error packet or a timeout (count a failure against the
+gateway's circuit breaker, then retry with capped exponential backoff and
+seeded jitter).  The propagated ``deadline_ns`` bounds everything: an
+attempt is never sent, and a backoff never slept, past the deadline.
+
+Retransmits are *sticky*: once a request has been sent to a gateway, every
+retry returns to that same gateway so its dedup cache can guarantee the
+request executes at most once.  Gateway failover happens at first send only
+(the home-gateway scan skips breaker-open gateways); if the chosen gateway's
+breaker opens mid-retry the request fails fast rather than risking a second
+execution elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.net.link import Link, Packet
+from repro.sim.kernel import Simulator, Timeout, WaitEvent
+from repro.sim.rand import SeededRandom
+from repro.workloads.multitenant import FleetRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.stats import FleetStatistics
+
+
+#: Wire overhead per request packet beyond the payload (headers, function
+#: name, deadline); response/shed/err packets are header-sized.
+REQUEST_HEADER_BYTES = 64
+RESPONSE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class GatewayRequest(FleetRequest):
+    """A fleet request as the network sees it.
+
+    Adds the transport identity (``request_id`` — what dedup and response
+    routing key on), the admission class (``priority`` — higher sheds later)
+    and the serving gateway's index (stamped by the gateway at admission so
+    the fleet's outcome callback can find the right downlink).
+    """
+
+    request_id: int = -1
+    priority: int = 0
+    gateway_index: int = 0
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Retry/timeout/breaker policy for one client population's transport."""
+
+    #: Per-attempt response timeout (ns).
+    per_hop_timeout_ns: float = 2_000_000.0
+    #: Retransmit budget after the first attempt; 0 = fail on first loss.
+    max_retries: int = 3
+    #: First backoff (ns); doubles per retry up to ``backoff_cap_ns``.
+    backoff_base_ns: float = 100_000.0
+    backoff_cap_ns: float = 2_000_000.0
+    #: Jitter fraction: each backoff is scaled by 1 + jitter * U[0, 1).
+    backoff_jitter: float = 0.5
+    #: Consecutive failures that open a gateway's circuit breaker.
+    breaker_threshold: int = 8
+    #: How long an open breaker rejects before probing again (ns).
+    breaker_open_ns: float = 10_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.per_hop_timeout_ns <= 0:
+            raise ValueError("per-hop timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.backoff_base_ns <= 0 or self.backoff_cap_ns < self.backoff_base_ns:
+            raise ValueError("backoff cap must be at least the base")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff jitter cannot be negative")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker threshold must be at least 1")
+        if self.breaker_open_ns <= 0:
+            raise ValueError("breaker open window must be positive")
+
+
+class CircuitBreaker:
+    """Per-gateway closed → open → half-open failure gate."""
+
+    __slots__ = ("threshold", "open_ns", "state", "failures", "opened_at_ns")
+
+    def __init__(self, threshold: int, open_ns: float) -> None:
+        self.threshold = threshold
+        self.open_ns = open_ns
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at_ns = 0.0
+
+    def allow(self, now_ns: float) -> bool:
+        """May an attempt be sent now?  Open breakers admit one probe per
+        open window (half-open); the probe's outcome decides what follows."""
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "open" and now_ns - self.opened_at_ns >= self.open_ns:
+            self.state = "half-open"
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+
+    def record_failure(self, now_ns: float) -> bool:
+        """Count a failure; True when this one opens (or re-opens) the gate."""
+        if self.state == "half-open":
+            self.state = "open"
+            self.opened_at_ns = now_ns
+            return True
+        self.failures += 1
+        if self.state == "closed" and self.failures >= self.threshold:
+            self.state = "open"
+            self.opened_at_ns = now_ns
+            return True
+        return False
+
+
+class _Pending:
+    """Lifetime record of one logical request across all its attempts."""
+
+    __slots__ = (
+        "request",
+        "first_send_ns",
+        "attempt",
+        "gateway",
+        "done",
+        "done_event",
+    )
+
+    def __init__(self, request: GatewayRequest, done_event: Optional[WaitEvent]) -> None:
+        self.request = request
+        self.first_send_ns = 0.0
+        #: Attempt counter; bumping it stale-izes every armed timeout watcher
+        #: and backoff sleeper for earlier attempts.
+        self.attempt = 0
+        #: Sticky serving gateway (None until the first send chooses one).
+        self.gateway: Optional[int] = None
+        self.done = False
+        self.done_event = done_event
+
+
+class Transport:
+    """The retry/deadline/breaker state machine in front of the uplinks."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        stats: "FleetStatistics",
+        uplinks: List["Link"],
+        config: TransportConfig,
+        rng: SeededRandom,
+    ) -> None:
+        if not uplinks:
+            raise ValueError("a transport needs at least one gateway uplink")
+        self.simulator = simulator
+        self.clock = simulator.clock
+        self.stats = stats
+        self.uplinks = uplinks
+        self.config = config
+        self.rng = rng
+        self.breakers = [
+            CircuitBreaker(config.breaker_threshold, config.breaker_open_ns)
+            for _ in uplinks
+        ]
+        self._pending: Dict[int, _Pending] = {}
+
+    @property
+    def in_flight(self) -> int:
+        """Logical requests not yet completed or finally failed."""
+        return len(self._pending)
+
+    # ---------------------------------------------------------------- submit
+    def submit(
+        self, request: GatewayRequest, done_event: Optional[WaitEvent] = None
+    ) -> None:
+        """Take ownership of one logical request until it completes or dies."""
+        if request.request_id in self._pending:
+            raise ValueError(f"duplicate request_id {request.request_id}")
+        self.stats.record_net_request(request.priority)
+        pending = _Pending(request, done_event)
+        pending.first_send_ns = self.clock._now
+        self._pending[request.request_id] = pending
+        self._send(pending)
+
+    def _send(self, pending: _Pending) -> None:
+        now = self.clock._now
+        request = pending.request
+        deadline = request.deadline_ns
+        if deadline is not None and now > deadline:
+            self._fail(pending, "deadline")
+            return
+        if pending.gateway is None:
+            # First send: scan from the home hint for a breaker-admissible
+            # gateway.  This is the only point of gateway failover — see the
+            # module docstring for why retries are sticky.
+            count = len(self.uplinks)
+            for step in range(count):
+                index = (request.gateway_index + step) % count
+                if self.breakers[index].allow(now):
+                    pending.gateway = index
+                    break
+            if pending.gateway is None:
+                self.stats.breaker_fast_fails += 1
+                self._fail(pending, "breaker-open")
+                return
+        elif not self.breakers[pending.gateway].allow(now):
+            self.stats.breaker_fast_fails += 1
+            self._fail(pending, "breaker-open")
+            return
+        attempt = pending.attempt
+        self.stats.record_net_attempt(retry=attempt > 0)
+        self.uplinks[pending.gateway].send(
+            Packet(
+                "req",
+                request.request_id,
+                REQUEST_HEADER_BYTES + request.payload_bytes,
+                request,
+            )
+        )
+        wait_ns = self.config.per_hop_timeout_ns
+        if deadline is not None:
+            wait_ns = min(wait_ns, deadline - now)
+        self.simulator.spawn(
+            self._timeout_watch(pending, attempt, wait_ns),
+            name=f"net-timeout-{request.request_id}",
+        )
+
+    def _timeout_watch(self, pending: _Pending, attempt: int, wait_ns: float):
+        yield Timeout(wait_ns)
+        if pending.done or pending.attempt != attempt:
+            return  # a response or a newer attempt superseded this watcher
+        self.stats.record_net_timeout()
+        self._count_gateway_failure(pending)
+        self._retry_or_fail(pending, "timeout")
+
+    # ------------------------------------------------------------- responses
+    def on_response(self, packet: "Packet") -> None:
+        """Downlink delivery: a gateway's verdict for one attempt."""
+        pending = self._pending.get(packet.request_id)
+        if pending is None or pending.done:
+            return  # verdict for an attempt that already resolved
+        if packet.kind == "resp":
+            self._complete(pending)
+        elif packet.kind == "shed":
+            # Backpressure, not gateway failure: no breaker debit, just back
+            # off and try again inside the deadline budget.
+            self._retry_or_fail(pending, "shed")
+        else:  # "err"
+            self._count_gateway_failure(pending)
+            self._retry_or_fail(pending, str(packet.body))
+
+    def _complete(self, pending: _Pending) -> None:
+        pending.done = True
+        request = pending.request
+        now = self.clock.now
+        self.stats.record_net_completion(
+            request.request_id,
+            request.tenant,
+            request.function,
+            request.priority,
+            pending.first_send_ns,
+            now,
+            pending.attempt + 1,
+        )
+        self.breakers[pending.gateway].record_success()
+        del self._pending[request.request_id]
+        if pending.done_event is not None:
+            self.simulator.trigger(pending.done_event, "completed")
+
+    # ---------------------------------------------------------------- retry
+    def _count_gateway_failure(self, pending: _Pending) -> None:
+        gateway = pending.gateway
+        if gateway is not None and self.breakers[gateway].record_failure(
+            self.clock._now
+        ):
+            self.stats.record_breaker_open(f"gw{gateway}", self.clock.now)
+
+    def _retry_or_fail(self, pending: _Pending, reason: str) -> None:
+        pending.attempt += 1
+        if pending.attempt > self.config.max_retries:
+            self._fail(pending, reason)
+            return
+        config = self.config
+        backoff_ns = min(
+            config.backoff_cap_ns,
+            config.backoff_base_ns * (2.0 ** (pending.attempt - 1)),
+        )
+        if config.backoff_jitter:
+            backoff_ns *= 1.0 + config.backoff_jitter * self.rng.uniform()
+        now = self.clock._now
+        deadline = pending.request.deadline_ns
+        if deadline is not None and now + backoff_ns >= deadline:
+            self._fail(pending, "deadline")
+            return
+        self.simulator.spawn(
+            self._resend(pending, pending.attempt, backoff_ns),
+            name=f"net-backoff-{pending.request.request_id}",
+        )
+
+    def _resend(self, pending: _Pending, attempt: int, backoff_ns: float):
+        yield Timeout(backoff_ns)
+        if pending.done or pending.attempt != attempt:
+            return
+        self._send(pending)
+
+    def _fail(self, pending: _Pending, reason: str) -> None:
+        pending.done = True
+        request = pending.request
+        self.stats.record_net_failure(
+            request.request_id,
+            request.tenant,
+            request.priority,
+            reason,
+            self.clock.now,
+        )
+        del self._pending[request.request_id]
+        if pending.done_event is not None:
+            self.simulator.trigger(pending.done_event, reason)

@@ -44,6 +44,14 @@ class FleetRequest:
     payload: bytes
     #: Absolute arrival time on the fleet timeline (nanoseconds).
     arrival_ns: float
+    #: Absolute completion deadline on the fleet timeline, or ``None`` for
+    #: the historical no-deadline behaviour.  A request past its deadline is
+    #: *expired* — failed fast with its own counter at dispatch and in the
+    #: card workers, never silently served late.  (The default keeps every
+    #: pre-deadline schedule digest byte-identical; instances built without
+    #: the field — e.g. the streaming trace's direct construction — fall back
+    #: to this class-level ``None``.)
+    deadline_ns: Optional[float] = None
 
     @property
     def payload_bytes(self) -> int:

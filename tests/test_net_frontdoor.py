@@ -1,0 +1,350 @@
+"""Unit and end-to-end tests for the network front door (:mod:`repro.net`).
+
+Three layers of coverage:
+
+* **Component units** — links (serialisation, latency, loss, tail-drop),
+  the token bucket's priority reserve, the circuit breaker's
+  closed/open/half-open walk, and deadline expiry at both dispatch and
+  in-queue.
+* **End-to-end** — a small fleet behind the front door on clean and lossy
+  networks: conservation of request fates, exactly-once execution under
+  retransmits, and the gateway dedup cache replaying rather than
+  re-executing.
+* **Determinism** — identical seeds produce identical fingerprints
+  (including the completion-stream digest) across repeated in-process runs;
+  the cross-process half lives in ``test_net_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_fleet, build_frontdoor
+from repro.core.config import SMALL_CONFIG
+from repro.net import (
+    AdmissionConfig,
+    CircuitBreaker,
+    ClosedLoopPopulation,
+    LinkSpec,
+    OpenLoopPopulation,
+    TokenBucket,
+    TransportConfig,
+)
+from repro.net.link import Link, Packet
+from repro.sim.kernel import Simulator
+from repro.sim.rand import SeededRandom
+from repro.workloads.multitenant import FleetRequest, default_tenant_mix, multi_tenant_trace
+
+
+def make_frontdoor(
+    bank,
+    cards=2,
+    gateways=2,
+    loss=0.0,
+    retries=3,
+    admission=None,
+    deadline_ns=30_000_000.0,
+    seed=5,
+    priorities=None,
+    **fleet_kwargs,
+):
+    fleet = build_fleet(
+        cards=cards,
+        config=SMALL_CONFIG.with_overrides(seed=seed),
+        bank=bank,
+        queue_depth=8,
+        **fleet_kwargs,
+    )
+    frontdoor = build_frontdoor(
+        fleet,
+        seed=seed,
+        gateways=gateways,
+        uplink=LinkSpec(latency_ns=20_000.0, loss=loss, jitter_ns=4_000.0),
+        transport=TransportConfig(max_retries=retries),
+        admission=admission,
+        priorities=priorities,
+        deadline_ns=deadline_ns,
+    )
+    return frontdoor
+
+
+def make_trace(bank, length=80, mean_interarrival_ns=40_000.0, seed=5, tenants=2):
+    specs = default_tenant_mix(bank, tenants=tenants)
+    return specs, multi_tenant_trace(
+        bank,
+        specs,
+        length=length,
+        mean_interarrival_ns=mean_interarrival_ns,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------- links
+class TestLink:
+    def pump_through(self, spec, packets, seed=1):
+        simulator = Simulator()
+        arrived = []
+        link = Link(
+            simulator,
+            spec,
+            lambda packet: arrived.append((simulator.clock.now, packet)),
+            SeededRandom(seed),
+        )
+        for packet in packets:
+            link.send(packet)
+        simulator.spawn(link.pump(), name="pump")
+        simulator.run(until_ns=1e9)
+        return link, arrived
+
+    def test_clean_link_delivers_in_order_with_wire_time(self):
+        spec = LinkSpec(latency_ns=10_000.0, gbps=1.0, jitter_ns=0.0, loss=0.0)
+        packets = [Packet("req", index, 125) for index in range(4)]
+        link, arrived = self.pump_through(spec, packets)
+        assert [packet.request_id for _, packet in arrived] == [0, 1, 2, 3]
+        assert link.offered == link.delivered == 4
+        assert link.lost == link.dropped == 0
+        # 125 bytes at 1 Gbit/s = 1000 ns of wire time per packet; packet k
+        # finishes serialising at (k+1)*1000 and lands latency later.
+        assert [when for when, _ in arrived] == [
+            pytest.approx((index + 1) * 1000.0 + 10_000.0) for index in range(4)
+        ]
+
+    def test_total_loss_drops_every_packet(self):
+        spec = LinkSpec(loss=0.999999, jitter_ns=0.0)
+        link, arrived = self.pump_through(
+            spec, [Packet("req", index, 64) for index in range(32)]
+        )
+        assert arrived == []
+        assert link.lost == 32
+
+    def test_bounded_queue_tail_drops(self):
+        spec = LinkSpec(queue_packets=3)
+        simulator = Simulator()
+        link = Link(simulator, spec, lambda packet: None, SeededRandom(1))
+        results = [link.send(Packet("req", index, 64)) for index in range(5)]
+        assert results == [True, True, True, False, False]
+        assert link.offered == 5 and link.dropped == 2
+
+    def test_loss_probability_must_be_below_one(self):
+        with pytest.raises(ValueError):
+            LinkSpec(loss=1.0)
+
+
+# --------------------------------------------------------------- token bucket
+class TestTokenBucket:
+    def test_priority_reserve_sheds_bulk_first(self):
+        bucket = TokenBucket(AdmissionConfig(rate_per_s=1.0, burst=10.0, reserve_fraction=0.2))
+        # Drain to below the bulk threshold (1 + 0.2*10 = 3 tokens) without
+        # letting the (negligible) refill rate matter.
+        for _ in range(8):
+            assert bucket.admit(0, 0.0)
+        assert not bucket.admit(0, 0.0)  # 2 tokens left: bulk needs 3
+        assert bucket.admit(1, 0.0)  # priority only needs 1
+        assert bucket.admit(1, 0.0)
+        assert not bucket.admit(1, 0.0)  # reserve exhausted too
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(AdmissionConfig(rate_per_s=1e9, burst=4.0))
+        for _ in range(4):
+            assert bucket.admit(1, 0.0)
+        # A long idle period refills to the burst cap, not beyond it.
+        for _ in range(4):
+            assert bucket.admit(1, 1e9)
+        assert not bucket.admit(1, 1e9)
+
+
+# ------------------------------------------------------------ circuit breaker
+class TestCircuitBreaker:
+    def test_closed_open_halfopen_walk(self):
+        breaker = CircuitBreaker(threshold=3, open_ns=1000.0)
+        assert breaker.allow(0.0)
+        assert not breaker.record_failure(0.0)
+        assert not breaker.record_failure(0.0)
+        assert breaker.record_failure(0.0)  # third failure opens
+        assert breaker.state == "open"
+        assert not breaker.allow(500.0)
+        assert breaker.allow(1000.0)  # half-open probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow(1000.0)  # only one probe per window
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.failures == 0
+
+    def test_halfopen_failure_reopens_immediately(self):
+        breaker = CircuitBreaker(threshold=3, open_ns=1000.0)
+        for _ in range(3):
+            breaker.record_failure(0.0)
+        assert breaker.allow(1000.0)
+        assert breaker.record_failure(1500.0)  # probe failed: reopen
+        assert breaker.state == "open"
+        assert not breaker.allow(2000.0)
+        assert breaker.allow(2500.0)
+
+
+# ------------------------------------------------------------------ deadlines
+class TestDeadlines:
+    def test_expired_at_dispatch_is_never_served(self, small_bank):
+        fleet = build_fleet(
+            cards=1, config=SMALL_CONFIG.with_overrides(seed=3), bank=small_bank
+        )
+        fleet.clock.advance(1_000.0)
+        request = FleetRequest(
+            tenant="t0",
+            function="crc32",
+            payload=b"x",
+            arrival_ns=0.0,
+            deadline_ns=500.0,
+        )
+        fleet.submit(request)
+        fleet.simulator.run()
+        assert fleet.stats.expired == 1
+        assert fleet.stats.completed == 0
+
+    def test_unexpired_request_completes(self, small_bank):
+        fleet = build_fleet(
+            cards=1, config=SMALL_CONFIG.with_overrides(seed=3), bank=small_bank
+        )
+        request = FleetRequest(
+            tenant="t0",
+            function="crc32",
+            payload=b"x",
+            arrival_ns=0.0,
+            deadline_ns=1e9,
+        )
+        fleet.submit(request)
+        fleet.simulator.run()
+        assert fleet.stats.completed == 1
+        assert fleet.stats.expired == 0
+
+    def test_no_deadline_means_no_expiry(self, small_bank):
+        fleet = build_fleet(
+            cards=1, config=SMALL_CONFIG.with_overrides(seed=3), bank=small_bank
+        )
+        fleet.clock.advance(1e12)
+        request = FleetRequest(
+            tenant="t0", function="crc32", payload=b"x", arrival_ns=0.0
+        )
+        fleet.submit(request)
+        fleet.simulator.run()
+        assert fleet.stats.completed == 1
+
+
+# ----------------------------------------------------------------- end-to-end
+def assert_conservation(frontdoor, stats, issued):
+    """Every request has exactly one client fate; execution is exactly-once."""
+    assert stats.net_requests == issued
+    assert stats.net_completed + stats.net_failed == issued
+    admitted = sum(gateway.admitted for gateway in frontdoor.gateways)
+    # Each admission reaches exactly one terminal fleet verdict...
+    assert stats.completed + stats.rejected + stats.expired == admitted
+    # ...and dedup means a request is admitted (hence executed) at most once.
+    assert admitted <= issued
+    assert stats.net_completed <= stats.completed
+
+
+class TestFrontDoorEndToEnd:
+    def test_clean_network_everything_completes(self, small_bank):
+        frontdoor = make_frontdoor(small_bank)
+        _, trace = make_trace(small_bank)
+        frontdoor.add_population(OpenLoopPopulation(trace))
+        stats = frontdoor.run()
+        assert_conservation(frontdoor, stats, len(trace))
+        assert stats.client_availability == 1.0
+        assert stats.net_retries == 0
+        assert stats.net_completed == stats.completed == len(trace)
+
+    def test_lossy_network_retries_recover_exactly_once(self, small_bank):
+        frontdoor = make_frontdoor(small_bank, loss=0.15)
+        _, trace = make_trace(small_bank)
+        frontdoor.add_population(OpenLoopPopulation(trace))
+        stats = frontdoor.run()
+        assert_conservation(frontdoor, stats, len(trace))
+        assert stats.net_retries > 0
+        assert stats.client_availability > 0.9
+        # Lost responses cause retransmits of already-served requests; the
+        # gateway must answer those from cache, never re-execute.
+        assert stats.completed <= len(trace)
+
+    def test_lossy_network_without_retries_fails_requests(self, small_bank):
+        frontdoor = make_frontdoor(small_bank, loss=0.15, retries=0)
+        _, trace = make_trace(small_bank)
+        frontdoor.add_population(OpenLoopPopulation(trace))
+        stats = frontdoor.run()
+        assert_conservation(frontdoor, stats, len(trace))
+        assert stats.net_failed > 0
+        assert stats.client_availability < 1.0
+
+    def test_admission_sheds_bulk_before_priority(self, small_bank):
+        specs, trace = make_trace(
+            small_bank, length=150, mean_interarrival_ns=2_000.0
+        )
+        frontdoor = make_frontdoor(
+            small_bank,
+            admission=AdmissionConfig(rate_per_s=50_000.0, burst=4.0),
+            priorities={specs[0].name: 1},
+        )
+        frontdoor.add_population(OpenLoopPopulation(trace))
+        stats = frontdoor.run()
+        assert_conservation(frontdoor, stats, len(trace))
+        assert stats.shed_total > 0
+        gold_shed = stats.per_priority_shed[1] / max(1, stats.per_priority_requests[1])
+        bulk_shed = stats.per_priority_shed[0] / max(1, stats.per_priority_requests[0])
+        assert gold_shed < bulk_shed
+
+    def test_closed_loop_population_completes_all(self, small_bank):
+        _, trace = make_trace(small_bank, length=12)
+        frontdoor = make_frontdoor(small_bank)
+        frontdoor.add_population(
+            ClosedLoopPopulation(
+                trace,
+                clients=3,
+                requests_per_client=4,
+                think_ns=50_000.0,
+                rng=SeededRandom(9).fork("think"),
+            )
+        )
+        stats = frontdoor.run()
+        assert stats.net_requests == 12
+        assert stats.net_completed == 12
+
+    def test_run_without_population_raises(self, small_bank):
+        frontdoor = make_frontdoor(small_bank)
+        with pytest.raises(ValueError):
+            frontdoor.run()
+
+    def test_dead_cards_fail_fast(self, small_bank):
+        frontdoor = make_frontdoor(small_bank, cards=2, retries=1)
+        for card in frontdoor.fleet.cards:
+            card.health = "down"
+        _, trace = make_trace(small_bank, length=10)
+        frontdoor.add_population(OpenLoopPopulation(trace))
+        stats = frontdoor.run()
+        # The health probe flips cards_up after its first period; everything
+        # afterwards fails fast at the gateway instead of timing out.
+        assert stats.net_failed == stats.net_requests == 10
+        assert stats.completed == 0
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_fingerprints(self, small_bank):
+        def run():
+            frontdoor = make_frontdoor(small_bank, loss=0.10)
+            _, trace = make_trace(small_bank)
+            frontdoor.add_population(OpenLoopPopulation(trace))
+            frontdoor.run()
+            return frontdoor.fingerprint()
+
+        first, second = run(), run()
+        assert first == second
+        assert first[0] > 0
+
+    def test_net_disabled_digest_matches_plain_fleet(self, small_bank, small_trace):
+        def run():
+            fleet = build_fleet(
+                cards=2, config=SMALL_CONFIG.with_overrides(seed=3), bank=small_bank
+            )
+            fleet.run(small_trace(small_bank))
+            return fleet.fingerprint()
+
+        # The deadline/outcome-callback plumbing is inert without a front
+        # door: a plain fleet run must reproduce the pre-network schedule.
+        assert run() == run()

@@ -87,6 +87,34 @@ class TestSectionsRunTiny:
         assert fleet["requests_per_s"] > 0
         assert len(fleet["schedule_digest"]) == 16
 
+    def test_net_section_tiny(self):
+        results = perf_smoke.bench_net(trace_length=60)
+        assert set(results) == {"frontdoor"}
+        entry = results["frontdoor"]
+        assert entry["net_requests"] == 60
+        assert entry["net_completed"] + entry["net_failed"] == 60
+        assert entry["requests_per_s"] > 0
+        assert entry["events_dispatched"] > 0
+        # The section must exercise the loss/retry and shed machinery, not
+        # just a clean pass-through.
+        assert entry["net_retries"] > 0
+        assert entry["shed"] > 0
+        assert len(entry["schedule_digest"]) == 16
+
+    def test_net_fingerprints_are_deterministic(self):
+        first = perf_smoke.bench_net(trace_length=40)
+        second = perf_smoke.bench_net(trace_length=40)
+        for key in (
+            "events_dispatched",
+            "final_time_ns",
+            "net_completed",
+            "net_retries",
+            "shed",
+            "packets_lost",
+            "schedule_digest",
+        ):
+            assert first["frontdoor"][key] == second["frontdoor"][key], key
+
     def test_kernel_horizon_peek_subsection(self):
         results = perf_smoke._bench_horizon_peek(pending=64, pauses=50)
         assert results["dispatched_during_pauses"] == 0
