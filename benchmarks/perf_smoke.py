@@ -1,11 +1,11 @@
 """Fast-path perf smoke harness: codecs, kernel, device, cluster, faults,
-rebalance and million-request scale.
+rebalance, million-request scale, the network front door and observability.
 
 Runs in a few seconds (tens of seconds with the full scale section) and
 writes ``BENCH_codecs.json`` / ``BENCH_kernel.json`` / ``BENCH_device.json``
 / ``BENCH_cluster.json`` / ``BENCH_faults.json`` / ``BENCH_rebalance.json`` /
-``BENCH_scale.json`` / ``BENCH_net.json`` at the repo root so successive PRs leave a perf
-trajectory to compare against.
+``BENCH_scale.json`` / ``BENCH_net.json`` / ``BENCH_obs.json`` at the repo
+root so successive PRs leave a perf trajectory to compare against.
 
 Usage::
 
@@ -1089,6 +1089,126 @@ def bench_net(
     }
 
 
+def bench_obs(
+    cards: int = 2,
+    gateways: int = 2,
+    trace_length: int = 200,
+    mean_interarrival_ns: float = 30_000.0,
+) -> dict:
+    """Observability: tracing-off is free; tracing-on span rate + fingerprint.
+
+    Runs the ``net`` section's front-door workload three ways — no
+    observability at all, ``Observability(enabled=False)`` and a fully
+    enabled tracer with the device bridge — and asserts all three produce
+    byte-identical schedule digests: the disabled object must cost nothing,
+    and the enabled tracer must observe without perturbing (it spawns no
+    kernel events and consumes no RNG).  The enabled run then reports its
+    wall-clock span-recording rate, a fingerprint over the exported trace
+    and a digest of the metrics snapshot, so any drift in what gets traced
+    (span counts, timings, registry contents) fails ``--check``.
+    """
+    import hashlib
+
+    from repro.core.builder import build_fleet, build_frontdoor
+    from repro.core.config import SMALL_CONFIG
+    from repro.functions.bank import build_small_bank
+    from repro.net import AdmissionConfig, LinkSpec, OpenLoopPopulation, TransportConfig
+    from repro.obs import Observability, metrics_snapshot_json, trace_fingerprint
+    from repro.workloads.multitenant import default_tenant_mix, multi_tenant_trace
+
+    bank = build_small_bank()
+    specs = default_tenant_mix(bank, tenants=3, skew=1.2)
+    trace = multi_tenant_trace(
+        bank,
+        specs,
+        length=trace_length,
+        mean_interarrival_ns=mean_interarrival_ns,
+        seed=23,
+    )
+
+    def run_frontdoor(observability=None):
+        fleet = build_fleet(
+            cards=cards,
+            config=SMALL_CONFIG.with_overrides(seed=23),
+            bank=bank,
+            policy="affinity",
+            queue_depth=8,
+            observability=observability,
+        )
+        frontdoor = build_frontdoor(
+            fleet,
+            seed=23,
+            gateways=gateways,
+            uplink=LinkSpec(latency_ns=20_000.0, loss=0.02, jitter_ns=4_000.0),
+            transport=TransportConfig(),
+            admission=AdmissionConfig(rate_per_s=14_000.0, burst=8.0),
+            priorities={specs[0].name: 1},
+            deadline_ns=30_000_000.0,
+        )
+        frontdoor.add_population(OpenLoopPopulation(trace))
+        start = time.perf_counter()
+        stats = frontdoor.run()
+        elapsed = time.perf_counter() - start
+        return frontdoor, stats, elapsed
+
+    run_frontdoor()  # warm the bitstream/netlist caches before timing
+    _, baseline_stats, _ = run_frontdoor()
+    baseline_digest = baseline_stats.schedule_digest()
+    _, disabled_stats, _ = run_frontdoor(Observability(enabled=False))
+    if disabled_stats.schedule_digest() != baseline_digest:
+        raise AssertionError("Observability(enabled=False) perturbed the schedule")
+
+    fingerprint = None
+    best_rate = 0.0
+    elapsed_total = 0.0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while elapsed_total < _MIN_SECONDS:
+            observability = Observability()
+            frontdoor, stats, elapsed = run_frontdoor(observability)
+            elapsed_total += elapsed
+            spans = observability.spans
+            run_print = (
+                stats.schedule_digest() == baseline_digest,
+                len(spans),
+                observability.tracer.dropped,
+                sum(1 for span in spans if span.parent_id is None),
+                trace_fingerprint(spans)[:16],
+                hashlib.sha256(
+                    metrics_snapshot_json(observability.registry).encode()
+                ).hexdigest()[:16],
+            )
+            if fingerprint is None:
+                fingerprint = run_print
+            elif run_print != fingerprint:
+                raise AssertionError(
+                    f"non-deterministic tracing: {run_print} != {fingerprint}"
+                )
+            if not run_print[0]:
+                raise AssertionError("enabled tracing perturbed the schedule")
+            best_rate = max(best_rate, len(spans) / elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "tracing": {
+            "cards": cards,
+            "gateways": gateways,
+            "requests": trace_length,
+            "schedule_digest": baseline_digest[:16],
+            "digest_identical_when_off": True,
+            "digest_identical_when_on": fingerprint[0],
+            "spans": fingerprint[1],
+            "spans_dropped": fingerprint[2],
+            "trace_roots": fingerprint[3],
+            "trace_fingerprint": fingerprint[4],
+            "metrics_snapshot_sha": fingerprint[5],
+            "spans_per_s": round(best_rate, 1),
+        }
+    }
+
+
 def _warm_up(seconds: float = 0.3) -> None:
     """Spin briefly so frequency governors reach steady state before timing."""
     deadline = time.perf_counter() + seconds
@@ -1107,6 +1227,7 @@ SECTIONS = {
     "rebalance": (bench_rebalance, "BENCH_rebalance.json"),
     "scale": (bench_scale, "BENCH_scale.json"),
     "net": (bench_net, "BENCH_net.json"),
+    "obs": (bench_obs, "BENCH_obs.json"),
 }
 
 #: per-section baseline keys absent from a ``--tiny`` run (pruned before

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Where does a slow request spend its time?  Trace it and walk the path.
+
+The observability layer (:mod:`repro.obs`) records a span for every hop a
+request takes through the stack — client attempt, link transit, gateway
+admission, fleet queue wait, card service down to the individual PCI and
+FPGA operations — all stamped off the simulation clocks, so the trace is as
+deterministic as the run itself.  This example turns those spans into the
+answer a latency investigation actually wants.
+
+It runs the E12 overload cell twice — ``retry`` (admit everything and let
+the card queues absorb 3x overload) and ``retry+shed`` (token-bucket
+admission sheds what the cards can't take) — then, per mode:
+
+* prints the three slowest client requests with their critical paths,
+* prints the per-stage p50/p95 breakdown over all spans,
+* attributes the slowest 5% of requests stage-by-stage
+  (:func:`repro.analysis.dominant_stages`), and
+* exports a Chrome ``trace_event`` JSON (load it at ``chrome://tracing``).
+
+The headline is the brownout story told by traces instead of percentile
+tables: under admit-everything overload the queue-wait stage owns the tail,
+with shedding the queue collapses and card service time is what remains.
+
+Run with:  python examples/trace_explorer.py
+           python examples/trace_explorer.py --tiny
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import build_fleet, build_frontdoor
+from repro.analysis import Table, dominant_stages, stage_breakdown, top_critical_paths
+from repro.core.config import CoprocessorConfig
+from repro.functions.bank import build_default_bank
+from repro.net import AdmissionConfig, LinkSpec, OpenLoopPopulation, TransportConfig
+from repro.obs import Observability, export_chrome_trace
+from repro.workloads.multitenant import default_tenant_mix, multi_tenant_trace
+
+SEED = 2012
+WORKING_SET = ["sha1", "crc32", "fir16", "strmatch", "bitonic64", "parity32"]
+CARDS = 3
+GATEWAYS = 2
+QUEUE_DEPTH = 256
+#: One request per ~5.5us is the measured 3-card capacity (E12's 1.0x).
+CAPACITY_INTERARRIVAL_NS = 5_500.0
+CARD_CONFIG = CoprocessorConfig(
+    fabric_columns=8, fabric_rows=32, clb_rows_per_frame=8, seed=SEED
+)
+
+
+def run_cell(
+    mode: str,
+    requests: int = 800,
+    overload: float = 3.0,
+    loss: float = 0.0,
+    sample_rate: float = 1.0,
+):
+    """One traced E12-style front-door run; returns (frontdoor, observability).
+
+    ``mode`` is ``"retry"`` (admit everything) or ``"retry+shed"`` (token
+    bucket sized below card capacity).  Also imported by the determinism
+    regression test, which re-exports the trace in a fresh process and
+    compares bytes.
+    """
+    if mode not in ("retry", "retry+shed"):
+        raise ValueError(f"unknown mode {mode!r}")
+    bank = build_default_bank()
+    subset = bank.subset(WORKING_SET)
+    tenants = default_tenant_mix(subset, tenants=4, skew=1.2)
+    trace = multi_tenant_trace(
+        subset,
+        tenants,
+        length=requests,
+        mean_interarrival_ns=CAPACITY_INTERARRIVAL_NS / overload,
+        seed=SEED,
+    )
+    observability = Observability(sample_rate=sample_rate, seed=SEED)
+    fleet = build_fleet(
+        cards=CARDS,
+        config=CARD_CONFIG,
+        bank=bank,
+        functions=WORKING_SET,
+        policy="affinity",
+        queue_depth=QUEUE_DEPTH,
+        observability=observability,
+    )
+    for index, name in enumerate(WORKING_SET):
+        fleet.cards[index % CARDS].driver.preload(name)
+    frontdoor = build_frontdoor(
+        fleet,
+        seed=SEED,
+        gateways=GATEWAYS,
+        uplink=LinkSpec(latency_ns=20_000.0, loss=loss, gbps=10.0, jitter_ns=4_000.0),
+        transport=TransportConfig(
+            max_retries=3,
+            per_hop_timeout_ns=1_200_000.0,
+            backoff_base_ns=100_000.0,
+            backoff_cap_ns=1_000_000.0,
+            backoff_jitter=0.5,
+            breaker_threshold=12,
+            breaker_open_ns=2_000_000.0,
+        ),
+        admission=(
+            AdmissionConfig(rate_per_s=80_000.0, burst=12.0, reserve_fraction=0.2)
+            if mode == "retry+shed"
+            else None
+        ),
+        priorities={tenants[0].name: 1},
+        deadline_ns=4_000_000.0,
+    )
+    frontdoor.add_population(OpenLoopPopulation(trace))
+    frontdoor.run()
+    return frontdoor, observability
+
+
+def _print_top_paths(spans) -> None:
+    for rank, path in enumerate(
+        top_critical_paths(spans, k=3, root_name="client.request"), start=1
+    ):
+        stages = sorted(path.by_stage().items(), key=lambda item: -item[1])
+        summary = ", ".join(
+            f"{name} {ns / 1e3:.0f}us" for name, ns in stages[:4] if ns > 0
+        )
+        print(
+            f"  #{rank} request {path.trace_id}: "
+            f"{path.duration_ns / 1e3:.0f}us = {summary}"
+        )
+
+
+def _print_breakdown(spans) -> None:
+    table = Table(
+        "Per-stage span durations",
+        ["stage", "count", "total_us", "p50_us", "p95_us"],
+    )
+    for name, row in list(stage_breakdown(spans).items())[:8]:
+        table.add_row(
+            name,
+            row["count"],
+            round(row["total_ns"] / 1e3, 1),
+            round(row["p50_ns"] / 1e3, 1),
+            round(row["p95_ns"] / 1e3, 1),
+        )
+    print(table.render())
+
+
+def main(tiny: bool = False) -> None:
+    requests = 800 if tiny else 2_400
+    overload, loss = (3.0, 0.0) if tiny else (2.0, 0.02)
+    print(
+        f"E12 overload cell, traced: {requests} requests at {overload}x capacity, "
+        f"{loss:.0%} loss, {CARDS} cards, {GATEWAYS} gateways\n"
+    )
+    tail = {}
+    for mode in ("retry", "retry+shed"):
+        frontdoor, observability = run_cell(mode, requests, overload, loss)
+        spans = observability.spans
+        stats = frontdoor.fleet.stats
+        print(
+            f"=== {mode}: {len(spans)} spans, "
+            f"availability {stats.client_availability:.3f}, "
+            f"shed {stats.shed_total}, expired {stats.expired} ==="
+        )
+        print("slowest requests and their critical paths:")
+        _print_top_paths(spans)
+        _print_breakdown(spans)
+        dominant = dominant_stages(
+            spans, top_fraction=0.05, root_name="client.request"
+        )
+        total = sum(ns for _, ns in dominant) or 1
+        shares = {name: ns / total for name, ns in dominant}
+        tail[mode] = shares
+        print("slowest-5% critical-path attribution:")
+        for name, ns in dominant[:5]:
+            print(f"  {name:<22} {ns / total:>6.1%}")
+        out_path = Path(tempfile.gettempdir()) / f"trace_{mode.replace('+', '_')}.json"
+        export_chrome_trace(spans, out_path)
+        print(f"Chrome trace written to {out_path} (open at chrome://tracing)\n")
+
+    queue_wait = tail["retry"].get("fleet.queue", 0.0)
+    service = sum(
+        share
+        for name, share in tail["retry+shed"].items()
+        if name.startswith("card.")
+    )
+    shed_queue = tail["retry+shed"].get("fleet.queue", 0.0)
+    print(
+        "brownout, read off the traces: admit-everything spends "
+        f"{queue_wait:.0%} of its tail in the fleet queue; with shedding the "
+        f"queue drops to {shed_queue:.1%} and card service ({service:.1%}) "
+        "is the dominant fleet stage again."
+    )
+
+
+if __name__ == "__main__":
+    main(tiny="--tiny" in sys.argv[1:])

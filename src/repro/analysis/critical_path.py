@@ -1,0 +1,256 @@
+"""Critical-path analysis over exported request span trees.
+
+Given the spans of one traced run (anything with ``name`` / ``trace_id`` /
+``span_id`` / ``parent_id`` / ``start_ns`` / ``end_ns`` attributes — the
+module is duck-typed so it has no dependency on :mod:`repro.obs`), this
+module answers the question a latency investigation actually asks: *which
+stage made this request slow?*
+
+The critical path is computed by a sweep over the root's window: every
+instant is attributed to the **deepest covering span**, where depth is the
+system layer the span's stage lives in (client envelope < transport <
+link < gateway < fleet < card < device — :data:`STAGE_DEPTHS`), and ties
+within a layer go to the latest-started span.  The result is a
+chronological list of :class:`Segment` contributions that exactly tiles
+the root window, so summing segment durations per stage name explains
+100% of the request's latency.
+
+Why a layered sweep rather than a parent-pointer tree walk: traced systems
+record both *envelope* spans (a transport attempt covering everything that
+happened during it) and *stage* spans (queue wait, card service), and the
+two overlap without nesting — a queue wait outlasts the timed-out attempt
+that admitted the request, a futile retransmit flies while the original is
+still queued.  Walking parent links or interval containment credits those
+instants to the envelope's self-time; attributing to the deepest *system
+layer* instead says what the request was actually waiting on (the
+admission-queue wait behind the timeout, not the timeout).  Within one
+layer the latest-started covering span wins — the call-stack rule, which
+for properly nested spans is exactly the classic innermost-span
+attribution, so traces without cross-layer overlap (and traces from other
+systems, where every unknown stage sits in the default layer) degrade to
+ordinary nesting semantics.
+
+On top of the per-trace walk:
+
+* :func:`stage_breakdown` — per-stage count / total / p50 / p95 over raw
+  span durations;
+* :func:`top_critical_paths` — the k slowest requests with their paths;
+* :func:`dominant_stages` — critical-path time aggregated by stage over the
+  slowest fraction of requests (the "what dominates p95" headline: under
+  admit-everything overload the ``fleet.queue`` stage dominates; with
+  shedding it collapses and ``card.service`` is what remains).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+
+class Segment(NamedTuple):
+    """One critical-path contribution: *name* owned [start_ns, end_ns)."""
+
+    name: str
+    start_ns: int
+    end_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+class TracePath(NamedTuple):
+    """One trace's critical path, chronological, tiling the root window."""
+
+    trace_id: int
+    root_name: str
+    duration_ns: int
+    segments: Tuple[Segment, ...]
+
+    def by_stage(self) -> Dict[str, int]:
+        """Critical-path nanoseconds per stage name (sums to duration)."""
+        totals: Dict[str, int] = defaultdict(int)
+        for segment in self.segments:
+            totals[segment.name] += segment.duration_ns
+        return dict(totals)
+
+
+def group_by_trace(spans: Iterable) -> Dict[int, List]:
+    """Spans bucketed by trace id, in input order."""
+    traces: Dict[int, List] = defaultdict(list)
+    for span in spans:
+        traces[span.trace_id].append(span)
+    return dict(traces)
+
+
+def find_root(trace_spans: Sequence):
+    """The unique parentless span of one trace, or None if not unique."""
+    roots = [span for span in trace_spans if span.parent_id is None]
+    return roots[0] if len(roots) == 1 else None
+
+
+#: System layer per stage-name prefix (longest match wins).  Roots and
+#: transport envelopes sit shallow; the fleet queue sits *below* the
+#: attempts that envelope it, so overloaded requests charge their waiting
+#: to the queue rather than to the timeout watching it; device sub-spans
+#: sit deepest.  Unknown names default to layer 0, where pure call-stack
+#: attribution (latest start wins) takes over.
+STAGE_DEPTHS: Dict[str, int] = {
+    "client.request": 0,
+    "fleet.request": 0,
+    "net.attempt": 1,
+    "net.backoff": 1,
+    "net.link.": 2,
+    "gw.": 3,
+    "fleet.": 4,
+    "card.service": 5,
+    "card.": 6,
+}
+
+_DEPTHS_BY_LENGTH = sorted(STAGE_DEPTHS.items(), key=lambda item: -len(item[0]))
+
+
+def stage_depth(name: str) -> int:
+    """System layer of a stage name (longest-prefix lookup, default 0)."""
+    for prefix, depth in _DEPTHS_BY_LENGTH:
+        if name.startswith(prefix):
+            return depth
+    return 0
+
+
+def critical_path(trace_spans: Sequence, depth=stage_depth) -> Optional[TracePath]:
+    """The layered-sweep critical path of one trace.
+
+    Returns None for malformed traces (zero or several roots).  Every span
+    is clipped to the root window; each elementary interval between span
+    boundaries is attributed to the deepest covering span — *depth* (a
+    ``name -> int`` callable, default :func:`stage_depth`) first, then
+    latest start, then latest allocation — and adjacent intervals owned by
+    the same stage name are merged.  Markers (zero-width spans) cover
+    nothing and never appear on the path.
+    """
+    root = find_root(trace_spans)
+    if root is None:
+        return None
+    lo, hi = root.start_ns, root.end_ns
+    clipped = []
+    for span in trace_spans:
+        start = span.start_ns if span.start_ns > lo else lo
+        end = span.end_ns if span.end_ns < hi else hi
+        if end > start:
+            clipped.append((start, end, span, depth(span.name)))
+    bounds = sorted({edge for start, end, _, _ in clipped for edge in (start, end)})
+    segments: List[Segment] = []
+    for left, right in zip(bounds, bounds[1:]):
+        owner = max(
+            (
+                (layer, span.start_ns, span.span_id, span)
+                for start, end, span, layer in clipped
+                if start <= left and end >= right
+            ),
+        )[-1]
+        if segments and segments[-1].name == owner.name:
+            segments[-1] = Segment(owner.name, segments[-1].start_ns, right)
+        else:
+            segments.append(Segment(owner.name, left, right))
+    return TracePath(
+        root.trace_id,
+        root.name,
+        hi - lo,
+        tuple(segments),
+    )
+
+
+def critical_paths(
+    spans: Iterable, depth=stage_depth, where=None
+) -> List[TracePath]:
+    """Critical paths for every well-formed trace, in first-seen order.
+
+    *where*, if given, is a predicate over the root span; traces whose root
+    fails it are skipped (e.g. ``lambda root: root.attrs["outcome"] ==
+    "completed"`` to scope a brownout analysis to admitted traffic).
+    """
+    paths = []
+    for trace_spans in group_by_trace(spans).values():
+        root = find_root(trace_spans)
+        if root is None or (where is not None and not where(root)):
+            continue
+        path = critical_path(trace_spans, depth=depth)
+        if path is not None:
+            paths.append(path)
+    return paths
+
+
+def _percentile(ordered: Sequence[int], percentile: float) -> int:
+    """Nearest-rank percentile of a pre-sorted sequence."""
+    if not ordered:
+        return 0
+    rank = max(0, min(len(ordered) - 1, int(percentile / 100.0 * len(ordered))))
+    return ordered[rank]
+
+
+def stage_breakdown(spans: Iterable) -> Dict[str, Dict[str, float]]:
+    """Per-stage duration statistics over raw span durations.
+
+    Returns ``{name: {count, total_ns, p50_ns, p95_ns}}`` sorted by total
+    descending — the at-a-glance table of where simulated time went, before
+    any per-request attribution.
+    """
+    durations: Dict[str, List[int]] = defaultdict(list)
+    for span in spans:
+        durations[span.name].append(span.end_ns - span.start_ns)
+    out: Dict[str, Dict[str, float]] = {}
+    for name, values in durations.items():
+        values.sort()
+        out[name] = {
+            "count": len(values),
+            "total_ns": sum(values),
+            "p50_ns": _percentile(values, 50),
+            "p95_ns": _percentile(values, 95),
+        }
+    return dict(
+        sorted(out.items(), key=lambda item: (-item[1]["total_ns"], item[0]))
+    )
+
+
+def top_critical_paths(
+    spans: Iterable,
+    k: int = 3,
+    root_name: Optional[str] = None,
+    where=None,
+) -> List[TracePath]:
+    """The *k* slowest well-formed traces (optionally of one root kind)."""
+    paths = critical_paths(spans, where=where)
+    if root_name is not None:
+        paths = [path for path in paths if path.root_name == root_name]
+    paths.sort(key=lambda path: (-path.duration_ns, path.trace_id))
+    return paths[:k]
+
+
+def dominant_stages(
+    spans: Iterable,
+    top_fraction: float = 0.05,
+    root_name: Optional[str] = None,
+    where=None,
+) -> List[Tuple[str, int]]:
+    """Critical-path time per stage over the slowest *top_fraction* traces.
+
+    The tail-latency attribution: rank traces by root duration, keep the
+    slowest fraction (at least one), sum each stage's critical-path
+    contribution across them, and return ``(stage, total_ns)`` sorted
+    descending.  ``dominant_stages(spans)[0]`` names what p95 is made of.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    paths = critical_paths(spans, where=where)
+    if root_name is not None:
+        paths = [path for path in paths if path.root_name == root_name]
+    if not paths:
+        return []
+    paths.sort(key=lambda path: (-path.duration_ns, path.trace_id))
+    keep = paths[: max(1, int(len(paths) * top_fraction))]
+    totals: Dict[str, int] = defaultdict(int)
+    for path in keep:
+        for name, contribution in path.by_stage().items():
+            totals[name] += contribution
+    return sorted(totals.items(), key=lambda item: (-item[1], item[0]))

@@ -50,12 +50,44 @@ from repro.cluster.fastpath import ServeMemo
 from repro.cluster.stats import FleetStatistics
 from repro.core.exceptions import CoprocessorError
 from repro.core.host import HostDriver
+from repro.obs import names as _obs_names
 from repro.sim.kernel import Simulator, Store, Timeout
 from repro.workloads.multitenant import FleetRequest, FleetTrace
 
 #: Shared empty "cards already tried" set for fresh (non-failover) requests —
 #: one allocation instead of one per served request.
 _NO_CARDS_TRIED: frozenset = frozenset()
+
+#: Non-completion terminal outcome -> zero-duration marker span name.
+_OUTCOME_MARKERS = {
+    "rejected": _obs_names.SPAN_FLEET_REJECTED,
+    "expired": _obs_names.SPAN_FLEET_EXPIRED,
+}
+
+
+class _ReqTrace:
+    """Per-request trace context while the request is inside the fleet.
+
+    Keyed by ``id(request)`` in ``Fleet._trace_ctx`` — request objects are
+    referenced by queues/workers for their whole fleet lifetime and the
+    entry is popped at the terminal outcome, so identity keys cannot go
+    stale.  ``own_root`` marks traces born at the dispatcher (no front
+    door): the fleet records their root span itself; net-admitted requests
+    parent into the transport's ``client.request`` root instead.
+    """
+
+    __slots__ = ("trace_id", "root_id", "own_root", "arrival_ns", "enqueued_ns")
+
+    def __init__(
+        self, trace_id: int, root_id: int, own_root: bool, arrival_ns: float
+    ) -> None:
+        self.trace_id = trace_id
+        self.root_id = root_id
+        self.own_root = own_root
+        self.arrival_ns = arrival_ns
+        #: Re-stamped by every enqueue (fresh dispatch and failover alike),
+        #: so each hop gets its own ``fleet.queue`` wait span.
+        self.enqueued_ns = arrival_ns
 
 
 class ScrubOrder:
@@ -194,6 +226,9 @@ class FleetCard:
         #: Optional :class:`~repro.cluster.fastpath.ServeMemo` installed by
         #: ``Fleet(hit_fastpath=True)``; ``None`` keeps the historical path.
         self.memo = None
+        #: The card's device :class:`~repro.sim.trace.TraceRecorder` when the
+        #: fleet bridges device events into ``card.*`` sub-spans, else None.
+        self._obs_trace = None
 
     # --------------------------------------------------------------- queries
     @property
@@ -315,6 +350,7 @@ class Fleet:
         hit_fastpath: bool = False,
         card_indices: Optional[Sequence[int]] = None,
         admission_batch: int = 1,
+        observability=None,
     ) -> None:
         if not drivers:
             raise ValueError("a fleet needs at least one card")
@@ -357,7 +393,29 @@ class Fleet:
             )
             for index, driver in zip(indices, drivers)
         ]
-        self.stats = FleetStatistics(mode=stats_mode)
+        # Observability (PR 8; all off until an Observability object is
+        # handed in).  With ``self._tracer is None`` — the default — every
+        # instrumentation site below reduces to one identity check, so the
+        # untraced schedule and its digests stay byte-identical.
+        self.obs = observability
+        self._tracer = (
+            observability.tracer
+            if observability is not None and observability.enabled
+            else None
+        )
+        #: id(request) -> _ReqTrace for requests currently inside the fleet.
+        self._trace_ctx: Dict[int, _ReqTrace] = {}
+        self.stats = FleetStatistics(
+            mode=stats_mode,
+            registry=observability.registry if observability is not None else None,
+        )
+        if self._tracer is not None:
+            self._register_fleet_gauges(observability.registry)
+            if observability.bridge_device:
+                for card in self.cards:
+                    recorder = card.driver.coprocessor.trace
+                    recorder.enabled = True
+                    card._obs_trace = recorder
         self.hit_fastpath = hit_fastpath
         if hit_fastpath:
             for card in self.cards:
@@ -402,6 +460,118 @@ class Fleet:
     def __len__(self) -> int:
         return len(self.cards)
 
+    # ---------------------------------------------------------- observability
+    def _register_fleet_gauges(self, registry) -> None:
+        """Expose live fleet state as callback gauges (read at snapshot)."""
+        cards = self.cards
+        stats = self.stats
+
+        def _scrub_sum(field):
+            return lambda: sum(
+                getattr(card.driver.coprocessor.scrubber.stats, field)
+                for card in cards
+                if card.driver.coprocessor.scrubber is not None
+            )
+
+        def _defrag_sum(field):
+            return lambda: sum(
+                getattr(card.driver.coprocessor.defragmenter.stats, field)
+                for card in cards
+                if card.driver.coprocessor.defragmenter is not None
+            )
+
+        names = _obs_names
+        registry.gauge(
+            names.GAUGE_CARDS_DOWN,
+            fn=lambda: sum(1 for card in cards if card.health == "down"),
+        )
+        registry.gauge(
+            names.GAUGE_QUEUE_OUTSTANDING,
+            fn=lambda: sum(card.outstanding for card in cards),
+        )
+        registry.gauge(names.GAUGE_SCRUB_PASSES, fn=_scrub_sum("passes"))
+        registry.gauge(
+            names.GAUGE_SCRUB_FRAMES_CHECKED, fn=_scrub_sum("frames_checked")
+        )
+        registry.gauge(names.GAUGE_SCRUB_DETECTED, fn=_scrub_sum("detected"))
+        registry.gauge(names.GAUGE_SCRUB_CORRECTED, fn=_scrub_sum("corrected"))
+        registry.gauge(
+            names.GAUGE_SCRUB_UNCORRECTABLE, fn=_scrub_sum("uncorrectable")
+        )
+        registry.gauge(
+            names.GAUGE_HAZARD_EXECUTIONS,
+            fn=lambda: sum(
+                card.hazard_detector.hazard_executions
+                for card in cards
+                if card.hazard_detector is not None
+            ),
+        )
+        registry.gauge(names.GAUGE_DEFRAG_PASSES, fn=_defrag_sum("passes"))
+        registry.gauge(names.GAUGE_DEFRAG_MOVES, fn=_defrag_sum("moves"))
+        registry.gauge(
+            names.GAUGE_SOJOURN_P50, fn=lambda: stats.latency_percentile(50)
+        )
+        registry.gauge(
+            names.GAUGE_SOJOURN_P95, fn=lambda: stats.latency_percentile(95)
+        )
+        registry.gauge(
+            names.GAUGE_SOJOURN_P99, fn=lambda: stats.latency_percentile(99)
+        )
+
+    def _obs_register(self, request: FleetRequest, trace_id: int, parent_id: int) -> None:
+        """Adopt a net-layer trace context for *request* (gateway admission).
+
+        Called by the gateway just before :meth:`submit`, so the dispatcher
+        parents its spans into the transport's ``client.request`` root
+        instead of opening a fleet-local one.
+        """
+        self._trace_ctx[id(request)] = _ReqTrace(
+            trace_id, parent_id, False, self.clock._now
+        )
+
+    def _obs_end(self, request: FleetRequest, outcome: str, now_ns: float) -> None:
+        """Close *request*'s trace at a terminal outcome (tracer known set)."""
+        ctx = self._trace_ctx.pop(id(request), None)
+        if ctx is None:
+            return
+        tracer = self._tracer
+        marker = _OUTCOME_MARKERS.get(outcome)
+        if marker is not None:
+            tracer.marker(
+                marker,
+                ctx.trace_id,
+                ctx.root_id,
+                now_ns,
+                tenant=request.tenant,
+                function=request.function,
+            )
+        if ctx.own_root:
+            tracer.record(
+                _obs_names.SPAN_FLEET_REQUEST,
+                ctx.trace_id,
+                None,
+                ctx.arrival_ns,
+                now_ns,
+                span_id=ctx.root_id,
+                tenant=request.tenant,
+                function=request.function,
+                outcome=outcome,
+            )
+
+    def _obs_order_begin(self):
+        """Open a fresh (sampled) control-plane order trace, or ``None``.
+
+        Returns ``(trace_id, start_ns)`` — each order is its own trace in
+        the negative-id namespace, the ROADMAP's order-level trace hook.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return None
+        trace_id = tracer.new_trace_id()
+        if not tracer.sampled(trace_id):
+            return None
+        return trace_id, self.clock._now
+
     def _spawn_workers(self) -> None:
         if self._workers_spawned:
             return
@@ -431,6 +601,9 @@ class Fleet:
         card_clock = card._card_clock
         serve = card.serve
         record_completion = self.stats.record_completion
+        tracer = self._tracer
+        trace_ctx = self._trace_ctx
+        card_trace = card._obs_trace
         while True:
             item = yield get_request
             if item.__class__ is FleetRequest:
@@ -438,9 +611,29 @@ class Fleet:
                 request = item
             else:
                 order = yield from self._worker_order(card, item)
+                if card_trace is not None:
+                    # Orders' device events are not bridged; drop them so the
+                    # enabled recorder cannot grow without bound.
+                    del card_trace.events[:]
                 if order is None:
                     continue
                 request, tried = order
+            if tracer is not None:
+                ctx = trace_ctx.get(id(request))
+                if ctx is not None:
+                    # Queue wait: last enqueue (dispatch or failover) to this
+                    # worker pop — re-stamped per hop, so each bounce gets
+                    # its own wait span.
+                    tracer.record(
+                        _obs_names.SPAN_FLEET_QUEUE,
+                        ctx.trace_id,
+                        ctx.root_id,
+                        ctx.enqueued_ns,
+                        clock._now,
+                        card=card_name,
+                    )
+            else:
+                ctx = None
             deadline = request.deadline_ns
             if deadline is not None and clock._now > deadline:
                 # Expired in queue: fail fast with its own counter — a late
@@ -457,6 +650,7 @@ class Fleet:
             detector = device.hazard_detector
             hazards_before = detector.hazard_executions if detector is not None else 0
             card_clock_before = card_clock._now
+            mark = len(card_trace.events) if card_trace is not None else 0
             try:
                 service_ns, hit = serve(request)
             except CoprocessorError:
@@ -468,6 +662,8 @@ class Fleet:
                 failed_ns = card_clock._now - card_clock_before
                 card.busy_ns += failed_ns
                 card.serve_failures += 1
+                if card_trace is not None:
+                    del card_trace.events[mark:]
                 if failed_ns > 0:
                     yield Timeout(failed_ns)
                 card.outstanding -= 1
@@ -476,9 +672,38 @@ class Fleet:
             hazard = (
                 detector is not None and detector.hazard_executions > hazards_before
             )
+            if card_trace is not None:
+                # Snapshot (and truncate) the device recorder now, while the
+                # serve's events are the tail — the kernel yield below may
+                # interleave other activity on this recorder.
+                bridged = card_trace.events[mark:] if ctx is not None else ()
+                del card_trace.events[mark:]
+            else:
+                bridged = ()
             service_timeout.delay_ns = service_ns
             yield service_timeout
             card.outstanding -= 1
+            if ctx is not None:
+                service_span = tracer.record(
+                    _obs_names.SPAN_CARD_SERVICE,
+                    ctx.trace_id,
+                    ctx.root_id,
+                    started_ns,
+                    clock._now,
+                    card=card_name,
+                    hit=hit,
+                )
+                # Bridge device events (card-clock deltas) onto kernel time.
+                base = started_ns - card_clock_before
+                for event in bridged:
+                    tracer.record(
+                        _obs_names.device_span_name(event.component, event.action),
+                        ctx.trace_id,
+                        service_span,
+                        event.start_ns + base,
+                        event.end_ns + base,
+                        **event.attributes,
+                    )
             if (
                 card.health == "down"
                 and card.down_since_ns is not None
@@ -498,6 +723,8 @@ class Fleet:
                 clock._now,
                 hazard,
             )
+            if ctx is not None:
+                self._obs_end(request, "completed", clock._now)
             callback = self.on_request_outcome
             if callback is not None:
                 callback(request, "completed", clock._now)
@@ -511,14 +738,25 @@ class Fleet:
         in the common case instead of walking the whole order ladder.
         """
         if item.__class__ is ScrubOrder:
+            obs = self._obs_order_begin()
             if card.health != "down":
                 elapsed = card.scrub_chunk(item.frames)
                 if elapsed > 0:
                     yield Timeout(elapsed)
             card.outstanding -= 1
             card.scrub_pending = False
+            if obs is not None:
+                self._tracer.record(
+                    _obs_names.SPAN_ORDER_SCRUB,
+                    obs[0],
+                    None,
+                    obs[1],
+                    self.clock._now,
+                    card=card.name,
+                )
             return None
         if item.__class__ is DefragOrder:
+            obs = self._obs_order_begin()
             if card.health != "down":
                 clock_before = card.driver.clock.now
                 try:
@@ -533,8 +771,18 @@ class Fleet:
                     yield Timeout(elapsed)
             card.outstanding -= 1
             card.defrag_pending = False
+            if obs is not None:
+                self._tracer.record(
+                    _obs_names.SPAN_ORDER_DEFRAG,
+                    obs[0],
+                    None,
+                    obs[1],
+                    self.clock._now,
+                    card=card.name,
+                )
             return None
         if item.__class__ is MigrateOrder:
+            obs = self._obs_order_begin()
             handed_off = False
             function = item.function
             dest = self.cards[item.dest_index]
@@ -571,10 +819,22 @@ class Fleet:
                         )
                         handed_off = True
             card.outstanding -= 1
+            if obs is not None:
+                self._tracer.record(
+                    _obs_names.SPAN_ORDER_MIGRATE_CAPTURE,
+                    obs[0],
+                    None,
+                    obs[1],
+                    self.clock._now,
+                    card=card.name,
+                    function=function,
+                    handed_off=handed_off,
+                )
             if not handed_off:
                 self.migrating.discard(function)
             return None
         if item.__class__ is RestoreOrder:
+            obs = self._obs_order_begin()
             function = item.function
             restored = False
             if card.health == "down":
@@ -601,6 +861,17 @@ class Fleet:
                         yield Timeout(elapsed)
                     restored = True
             card.outstanding -= 1
+            if obs is not None:
+                self._tracer.record(
+                    _obs_names.SPAN_ORDER_MIGRATE_RESTORE,
+                    obs[0],
+                    None,
+                    obs[1],
+                    self.clock._now,
+                    card=card.name,
+                    function=function,
+                    restored=restored,
+                )
             if not restored:
                 self.migrating.discard(function)
                 return None
@@ -635,12 +906,23 @@ class Fleet:
                 )
             return None
         if item.__class__ is ReleaseOrder:
+            obs = self._obs_order_begin()
             function = item.function
             if card.health != "down" and card.driver.card.is_resident(function):
                 elapsed = card.evict_timed(function)
                 if elapsed > 0:
                     yield Timeout(elapsed)
             card.outstanding -= 1
+            if obs is not None:
+                self._tracer.record(
+                    _obs_names.SPAN_ORDER_MIGRATE_RELEASE,
+                    obs[0],
+                    None,
+                    obs[1],
+                    self.clock._now,
+                    card=card.name,
+                    function=function,
+                )
             self.migrating.discard(function)
             self.stats.record_migration(
                 function,
@@ -658,6 +940,7 @@ class Fleet:
             tried = item.tried
             item = item.request
         if item.__class__ is HealOrder:
+            obs = self._obs_order_begin()
             healed = False
             if card.health != "down":
                 try:
@@ -670,6 +953,17 @@ class Fleet:
                 if elapsed > 0:
                     yield Timeout(elapsed)
             card.outstanding -= 1
+            if obs is not None:
+                self._tracer.record(
+                    _obs_names.SPAN_ORDER_HEAL,
+                    obs[0],
+                    None,
+                    obs[1],
+                    self.clock._now,
+                    card=card.name,
+                    function=item.function,
+                    healed=healed,
+                )
             if healed:
                 self.stats.record_heal(
                     item.function, card.name, item.killed_at_ns, self.clock.now
@@ -689,6 +983,8 @@ class Fleet:
         stats = self.stats
         if card is None:
             stats.record_rejection(request.tenant, request.function, self.clock.now)
+            if self._tracer is not None:
+                self._obs_end(request, "rejected", self.clock._now)
             callback = self.on_request_outcome
             if callback is not None:
                 callback(request, "rejected", self.clock.now)
@@ -698,6 +994,10 @@ class Fleet:
         stats.dispatched += 1
         stats.per_tenant_dispatched[request.tenant] += 1
         stats.per_card_dispatched[card.name] += 1
+        if self._tracer is not None:
+            ctx = self._trace_ctx.get(id(request))
+            if ctx is not None:
+                ctx.enqueued_ns = self.clock._now
         card.queue.put(request if not tried else RetryEnvelope(request, tried))
 
     def _dispatch(self, request: FleetRequest) -> None:
@@ -707,6 +1007,22 @@ class Fleet:
         stats.per_tenant_arrivals[request.tenant] += 1
         if stats.first_arrival_ns is None:
             stats.first_arrival_ns = request.arrival_ns
+        tracer = self._tracer
+        if (
+            tracer is not None
+            and id(request) not in self._trace_ctx
+            and getattr(request, "request_id", -1) < 0
+        ):
+            # A trace born at the dispatcher: the fleet owns the root span,
+            # in the negative-id namespace.  Requests stamped with a
+            # transport request_id came through a gateway — if no context
+            # was registered for one, the transport chose not to sample it,
+            # and inventing a fleet root here would resurrect it.
+            trace_id = tracer.new_trace_id()
+            if tracer.sampled(trace_id):
+                self._trace_ctx[id(request)] = _ReqTrace(
+                    trace_id, tracer.next_span_id(), True, self.clock._now
+                )
         if request.deadline_ns is not None and request_expired(
             request, self.clock._now
         ):
@@ -720,6 +1036,8 @@ class Fleet:
         """Fail a deadline-expired request fast and tell the front door."""
         now = self.clock.now
         self.stats.record_expired(request.tenant, request.function, now)
+        if self._tracer is not None:
+            self._obs_end(request, "expired", now)
         callback = self.on_request_outcome
         if callback is not None:
             callback(request, "expired", now)
@@ -752,10 +1070,23 @@ class Fleet:
         self.stats.record_failover(
             request.tenant, request.function, failed.name, reason, self.clock.now
         )
+        if self._tracer is not None:
+            ctx = self._trace_ctx.get(id(request))
+            if ctx is not None:
+                self._tracer.marker(
+                    _obs_names.SPAN_FLEET_FAILOVER,
+                    ctx.trace_id,
+                    ctx.root_id,
+                    self.clock._now,
+                    card=failed.name,
+                    reason=reason,
+                )
         tried = tried | {failed.index}
         candidates = [card for card in self.cards if card.index not in tried]
         if not candidates:
             self.stats.record_rejection(request.tenant, request.function, self.clock.now)
+            if self._tracer is not None:
+                self._obs_end(request, "rejected", self.clock._now)
             callback = self.on_request_outcome
             if callback is not None:
                 callback(request, "rejected", self.clock.now)

@@ -16,7 +16,79 @@ from typing import Dict, List, Optional
 
 from repro.analysis.sketch import StreamingQuantileSketch, WindowedTimeSeries
 from repro.core.stats import ReservoirSampler
+from repro.obs import names as _names
+from repro.obs.registry import MetricsRegistry
 from repro.sim.rand import SeededRandom
+
+
+class _CounterAttr:
+    """Expose a registry :class:`~repro.obs.registry.Counter` as a plain
+    integer attribute, so every historical call site (``stats.failovers``,
+    ``stats.heals_skipped += 1``) keeps working unchanged while the value
+    lives on the metrics registry."""
+
+    __slots__ = ("key", "metric")
+
+    def __init__(self, attr: str, metric: str) -> None:
+        self.key = "_c_" + attr
+        self.metric = metric
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj.__dict__[self.key].value
+
+    def __set__(self, obj, value) -> None:
+        obj.__dict__[self.key].value = value
+
+
+#: FleetStatistics attribute -> canonical instrument name for every scalar
+#: counter migrated onto the registry (reliability, migration, net).  The
+#: dispatch-path counters (arrivals/dispatched/completed/hits/...) stay
+#: plain ints: they are the admission fast path, and their home has always
+#: been the statistics object itself.
+_MIGRATED_COUNTERS = (
+    ("card_failures", _names.METRIC_CARD_FAILURES),
+    ("card_degradations", _names.METRIC_CARD_DEGRADATIONS),
+    ("card_recoveries", _names.METRIC_CARD_RECOVERIES),
+    ("failovers", _names.METRIC_FAILOVERS),
+    ("heal_orders", _names.METRIC_HEAL_ORDERS),
+    ("heals_completed", _names.METRIC_HEALS_COMPLETED),
+    ("heals_skipped", _names.METRIC_HEALS_SKIPPED),
+    ("hazard_completions", _names.METRIC_HAZARD_COMPLETIONS),
+    ("migration_orders", _names.METRIC_MIGRATION_ORDERS),
+    ("migrations_completed", _names.METRIC_MIGRATIONS_COMPLETED),
+    ("migrations_failed", _names.METRIC_MIGRATIONS_FAILED),
+    ("migrated_frames", _names.METRIC_MIGRATED_FRAMES),
+    ("migrated_bytes", _names.METRIC_MIGRATED_BYTES),
+    ("migration_byte_diffs", _names.METRIC_MIGRATION_BYTE_DIFFS),
+    ("expired", _names.METRIC_EXPIRED),
+    ("net_requests", _names.METRIC_NET_REQUESTS),
+    ("net_attempts", _names.METRIC_NET_ATTEMPTS),
+    ("net_retries", _names.METRIC_NET_RETRIES),
+    ("net_timeouts", _names.METRIC_NET_TIMEOUTS),
+    ("net_completed", _names.METRIC_NET_COMPLETED),
+    ("net_failed", _names.METRIC_NET_FAILED),
+    ("shed_total", _names.METRIC_NET_SHED),
+    ("breaker_opens", _names.METRIC_BREAKER_OPENS),
+    ("breaker_fast_fails", _names.METRIC_BREAKER_FAST_FAILS),
+    ("duplicates_suppressed", _names.METRIC_DUPLICATES_SUPPRESSED),
+    ("duplicates_served", _names.METRIC_DUPLICATES_SERVED),
+)
+
+#: Attribute -> instrument name for the migrated labeled counters.  A
+#: :class:`~repro.obs.registry.LabeledCounter` *is* a ``defaultdict(int)``,
+#: so ``stats.failover_reasons[reason] += 1`` call sites are untouched.
+_MIGRATED_LABELED = (
+    ("failover_reasons", _names.METRIC_FAILOVERS_BY_REASON),
+    ("per_tenant_failovers", _names.METRIC_FAILOVERS_BY_TENANT),
+    ("migration_failure_reasons", _names.METRIC_MIGRATION_FAILURES_BY_REASON),
+    ("per_tenant_expired", _names.METRIC_EXPIRED_BY_TENANT),
+    ("net_failure_reasons", _names.METRIC_NET_FAILURES_BY_REASON),
+    ("per_priority_requests", _names.METRIC_NET_REQUESTS_BY_PRIORITY),
+    ("per_priority_completed", _names.METRIC_NET_COMPLETED_BY_PRIORITY),
+    ("per_priority_shed", _names.METRIC_NET_SHED_BY_PRIORITY),
+)
 
 
 class FleetStatistics:
@@ -46,10 +118,21 @@ class FleetStatistics:
         mode: str = "reservoir",
         sketch_relative_error: float = 0.01,
         window_ns: float = 1_000_000.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if mode not in ("reservoir", "sketch"):
             raise ValueError(f"unknown statistics mode {mode!r}")
         self.mode = mode
+        #: The reliability/migration/net counters live on a metrics registry
+        #: (one per statistics object unless an
+        #: :class:`~repro.obs.Observability` supplies a shared one); the
+        #: class-level descriptors keep the attribute API identical.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        instruments = self.__dict__
+        for attr, metric in _MIGRATED_COUNTERS:
+            instruments["_c_" + attr] = self.registry.counter(metric)
+        for attr, metric in _MIGRATED_LABELED:
+            instruments[attr] = self.registry.labeled_counter(metric)
         self.reservoir_capacity = reservoir_capacity
         self.sketch_relative_error = sketch_relative_error
         self._rng = SeededRandom(seed)
@@ -91,58 +174,23 @@ class FleetStatistics:
         # batch instead of one per completion.  ``schedule_digest`` flushes.
         self._digest_parts: List[bytes] = []
         # --- reliability (PR 4: repro.faults) ------------------------------
-        self.card_failures = 0
-        self.card_degradations = 0
-        self.card_recoveries = 0
+        # The scalar counters (card_failures, failovers, heal_*,
+        # hazard_completions — completions over CRC-mismatching frames the
+        # host saw as STATUS_OK) and the by-reason/by-tenant families are
+        # registry instruments created above; only the non-counter state
+        # lives here.
         self.card_down_since: Dict[str, float] = {}
-        self.failovers = 0
-        self.per_tenant_failovers: Dict[str, int] = defaultdict(int)
-        self.failover_reasons: Dict[str, int] = defaultdict(int)
-        self.heal_orders = 0
-        self.heals_completed = 0
-        self.heals_skipped = 0
         self.total_heal_latency_ns = 0.0
-        #: Completions whose execution ran over a CRC-mismatching frame — the
-        #: fleet's *silent corruption* count (the host saw STATUS_OK).
-        self.hazard_completions = 0
         # --- rebalancing (PR 5: live migration + defrag) -------------------
-        self.migration_orders = 0
-        self.migrations_completed = 0
-        self.migrations_failed = 0
-        self.migration_failure_reasons: Dict[str, int] = defaultdict(int)
-        self.migrated_frames = 0
-        self.migrated_bytes = 0
-        #: Restores whose destination readback did not match the captured
-        #: image byte for byte — must stay zero (the migration-safety
-        #: property the E11 acceptance gate asserts).
-        self.migration_byte_diffs = 0
+        # migration_* counters — including migration_byte_diffs, the
+        # migration-safety property the E11 acceptance gate asserts stays
+        # zero — are registry instruments created above.
         self.total_migration_latency_ns = 0.0
         # --- deadlines + network front door (PR 7: repro.net) --------------
-        #: Requests whose deadline had passed at dispatch or when a card
-        #: worker popped them from its queue — failed fast, never served late.
-        self.expired = 0
-        self.per_tenant_expired: Dict[str, int] = defaultdict(int)
-        #: Client-visible (network-layer) counters.  ``net_requests`` counts
-        #: logical requests submitted by client populations; every one ends
-        #: exactly once in ``net_completed`` or ``net_failed`` (by reason).
-        self.net_requests = 0
-        self.net_attempts = 0
-        self.net_retries = 0
-        self.net_timeouts = 0
-        self.net_completed = 0
-        self.net_failed = 0
-        self.net_failure_reasons: Dict[str, int] = defaultdict(int)
-        self.shed_total = 0
-        self.breaker_opens = 0
-        self.breaker_fast_fails = 0
-        #: Gateway dedup: retransmits of an in-flight request are suppressed;
-        #: retransmits of a completed one are answered from the response
-        #: cache — either way the request never executes twice.
-        self.duplicates_suppressed = 0
-        self.duplicates_served = 0
-        self.per_priority_requests: Dict[int, int] = defaultdict(int)
-        self.per_priority_completed: Dict[int, int] = defaultdict(int)
-        self.per_priority_shed: Dict[int, int] = defaultdict(int)
+        # The client-visible counters (net_requests issues exactly once into
+        # net_completed or net_failed-by-reason; expired requests failed
+        # fast, never served late; gateway dedup suppressed/served) are
+        # registry instruments created above.
         self.total_net_latency_ns = 0.0
         #: Network-time-inclusive end-to-end latency recorder (first client
         #: send to response delivery).  Built lazily so fleets that never see
@@ -600,3 +648,10 @@ class FleetStatistics:
                 f"hit_rate={row['hit_rate']:.3f} p95={row['p95_sojourn_us']:.2f}us"
             )
         return "\n".join(lines)
+
+
+# Install the registry-backed attribute descriptors (after the class body so
+# the mapping above stays the single source of truth for the migration).
+for _attr, _metric in _MIGRATED_COUNTERS:
+    setattr(FleetStatistics, _attr, _CounterAttr(_attr, _metric))
+del _attr, _metric

@@ -103,6 +103,7 @@ def build_fleet(
     hit_fastpath: bool = False,
     card_indices: Optional[Sequence[int]] = None,
     admission_batch: int = 1,
+    observability=None,
 ):
     """Wire *cards* identical co-processor cards into a ready :class:`Fleet`.
 
@@ -127,6 +128,11 @@ def build_fleet(
     CAPTURE/RESTORE migrations.  ``defrag_period_ns`` installs per-card
     configuration-memory defragmenters and runs one bounded compaction order
     per period (:meth:`~repro.cluster.fleet.Fleet.enable_defrag`).
+
+    ``observability`` accepts a :class:`repro.obs.Observability`: the fleet
+    then records request/order spans on its tracer and registers its
+    counters and gauges on its metrics registry.  ``None`` (the default)
+    keeps the fully uninstrumented, digest-frozen schedule.
     """
     from repro.cluster.fleet import Fleet
 
@@ -145,6 +151,7 @@ def build_fleet(
         hit_fastpath=hit_fastpath,
         card_indices=card_indices,
         admission_batch=admission_batch,
+        observability=observability,
     )
     if fault_tolerance or scrub_period_ns is not None:
         fleet.enable_fault_tolerance(

@@ -93,12 +93,48 @@ class FrontDoor:
             transport if transport is not None else TransportConfig(),
             rng.fork("net.backoff"),
         )
+        # Observability: the fleet carries the Observability object; the
+        # front door threads its tracer through every net-layer hop and
+        # contributes the net-side callback gauges.
+        tracer = fleet._tracer
+        if tracer is not None:
+            self.transport.tracer = tracer
+            for link in self.uplinks + self.downlinks:
+                link.tracer = tracer
+            for gateway in self.gateways:
+                gateway.tracer = tracer
+            self._register_net_gauges(fleet.obs.registry)
         self._next_id = 0
         self._populations: List[object] = []
         self._population_processes: List[object] = []
         self._infra_processes: Dict[str, object] = {}
         fleet.on_request_outcome = self._on_fleet_outcome
         fleet.idle_hook = self._net_idle
+
+    # --------------------------------------------------------- observability
+    def _register_net_gauges(self, registry) -> None:
+        """Expose live net-layer state as callback gauges (read at snapshot)."""
+        from repro.obs import names
+
+        links = self.uplinks + self.downlinks
+        gateways = self.gateways
+        breakers = self.transport.breakers
+
+        def _link_sum(field):
+            return lambda: sum(getattr(link, field) for link in links)
+
+        registry.gauge(names.GAUGE_LINK_OFFERED, fn=_link_sum("offered"))
+        registry.gauge(names.GAUGE_LINK_DELIVERED, fn=_link_sum("delivered"))
+        registry.gauge(names.GAUGE_LINK_LOST, fn=_link_sum("lost"))
+        registry.gauge(names.GAUGE_LINK_DROPPED, fn=_link_sum("dropped"))
+        registry.gauge(
+            names.GAUGE_GATEWAY_ADMITTED,
+            fn=lambda: sum(gateway.admitted for gateway in gateways),
+        )
+        registry.gauge(
+            names.GAUGE_BREAKERS_OPEN,
+            fn=lambda: sum(1 for breaker in breakers if breaker.state == "open"),
+        )
 
     # ------------------------------------------------------------- requests
     def make_request(

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.net.link import Link, Packet
 from repro.net.transport import RESPONSE_BYTES, GatewayRequest
+from repro.obs import names as _obs_names
 from repro.sim.kernel import Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -108,36 +109,68 @@ class Gateway:
         #: optimistic; the probe refreshes it every period.
         self.cards_up = True
         self.admitted = 0
+        #: Observability tracer installed by the front door (None = untraced).
+        self.tracer = None
+        #: request_id -> propagated trace context for in-flight admissions,
+        #: so finish() can stamp the verdict packet (traced runs only).
+        self._trace_ctx: Dict[int, tuple] = {}
 
     # ---------------------------------------------------------------- uplink
     def on_request(self, packet: Packet) -> None:
         """Uplink delivery: admit, dedup, shed or fail-fast one request."""
         request: GatewayRequest = packet.body
         request_id = request.request_id
+        trace = packet.trace if self.tracer is not None else None
         entry = self._entries.get(request_id)
         if entry is not None:
             if entry is _IN_FLIGHT:
                 # Retransmit of a request the fleet is still serving: drop
                 # it; the verdict will go out when the fleet finishes.
                 self.stats.duplicates_suppressed += 1
+                self._obs_admission(trace, "duplicate_inflight")
             else:
                 # Already served: replay the cached verdict, execute nothing.
                 self.stats.duplicates_served += 1
+                self._obs_admission(trace, "duplicate_served")
                 self.downlink.send(entry)
             return
         now = self.clock._now
         if self.bucket is not None and not self.bucket.admit(request.priority, now):
             self.stats.record_shed(request.tenant, request.priority, self.clock.now)
-            self.downlink.send(Packet("shed", request_id, RESPONSE_BYTES))
+            self._obs_admission(trace, "shed")
+            self.downlink.send(Packet("shed", request_id, RESPONSE_BYTES, trace=trace))
             return
         if not self.cards_up:
             # Every probed card is down: answering immediately beats letting
             # the client burn its deadline on a per-hop timeout.
-            self.downlink.send(Packet("err", request_id, RESPONSE_BYTES, "no-cards"))
+            self._obs_admission(trace, "no_cards")
+            self.downlink.send(
+                Packet("err", request_id, RESPONSE_BYTES, "no-cards", trace=trace)
+            )
             return
         self._entries[request_id] = _IN_FLIGHT
         self.admitted += 1
-        self.fleet.submit(replace(request, arrival_ns=now, gateway_index=self.index))
+        admitted = replace(request, arrival_ns=now, gateway_index=self.index)
+        if trace is not None:
+            self._obs_admission(trace, "admitted")
+            self._trace_ctx[request_id] = trace
+            # Hand the context across the fleet boundary: dispatcher spans
+            # parent into the transport's client.request root.
+            self.fleet._obs_register(admitted, trace[0], trace[1])
+        self.fleet.submit(admitted)
+
+    def _obs_admission(self, trace, verdict: str) -> None:
+        """Zero-duration admission-verdict marker on a traced request."""
+        if trace is None:
+            return
+        self.tracer.marker(
+            _obs_names.SPAN_GW_ADMISSION,
+            trace[0],
+            trace[1],
+            self.clock._now,
+            gateway=self.name,
+            verdict=verdict,
+        )
 
     # ----------------------------------------------------------- fleet side
     def finish(self, request: GatewayRequest, outcome: str, now_ns: float) -> None:
@@ -145,15 +178,18 @@ class Gateway:
         request_id = request.request_id
         if request_id not in self._entries:  # pragma: no cover - invariant
             raise RuntimeError(f"verdict for unknown request {request_id}")
+        trace = self._trace_ctx.pop(request_id, None)
         if outcome == "completed":
-            response = Packet("resp", request_id, RESPONSE_BYTES)
+            response = Packet("resp", request_id, RESPONSE_BYTES, trace=trace)
             self._entries[request_id] = response
             self.downlink.send(response)
         else:
             # Rejected or expired: retryable, so forget the request — a
             # retransmit re-enters admission as if new.
             del self._entries[request_id]
-            self.downlink.send(Packet("err", request_id, RESPONSE_BYTES, outcome))
+            self.downlink.send(
+                Packet("err", request_id, RESPONSE_BYTES, outcome, trace=trace)
+            )
 
     # ----------------------------------------------------------------- probe
     def probe(self):
@@ -163,6 +199,18 @@ class Gateway:
         probe_timeout = Timeout(self.probe_period_ns)
         while True:
             self.cards_up = any(card.health != "down" for card in cards)
+            tracer = self.tracer
+            if tracer is not None:
+                trace_id = tracer.new_trace_id()
+                if tracer.sampled(trace_id):
+                    tracer.marker(
+                        _obs_names.SPAN_ORDER_PROBE,
+                        trace_id,
+                        None,
+                        self.clock._now,
+                        gateway=self.name,
+                        cards_up=self.cards_up,
+                    )
             if fleet.is_idle:
                 return
             yield probe_timeout

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs import names as _obs_names
 from repro.sim.kernel import Simulator, Store, Timeout
 from repro.sim.rand import SeededRandom
 
@@ -59,13 +60,26 @@ class Packet:
     backpressure, not failure) or ``"err"`` (body: the failure reason).
     """
 
-    __slots__ = ("kind", "request_id", "size_bytes", "body")
+    __slots__ = ("kind", "request_id", "size_bytes", "body", "trace", "sent_ns")
 
-    def __init__(self, kind: str, request_id: int, size_bytes: int, body=None) -> None:
+    def __init__(
+        self,
+        kind: str,
+        request_id: int,
+        size_bytes: int,
+        body=None,
+        trace=None,
+    ) -> None:
         self.kind = kind
         self.request_id = request_id
         self.size_bytes = size_bytes
         self.body = body
+        #: Propagated trace context, ``(trace_id, parent_span_id)`` or None —
+        #: the side channel the links and gateways read; stamped by whoever
+        #: sends the packet on a traced request.
+        self.trace = trace
+        #: send() instant, for the delivered packet's transit span.
+        self.sent_ns = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Packet({self.kind!r}, id={self.request_id}, {self.size_bytes}B)"
@@ -94,6 +108,8 @@ class Link:
         self.delivered = 0
         self.lost = 0
         self.dropped = 0
+        #: Observability tracer installed by the front door (None = untraced).
+        self.tracer = None
 
     def send(self, packet: Packet) -> bool:
         """Enqueue *packet* for transmission; False = tail-dropped."""
@@ -101,6 +117,8 @@ class Link:
         if len(self._queue) >= self.spec.queue_packets:
             self.dropped += 1
             return False
+        if self.tracer is not None and packet.trace is not None:
+            packet.sent_ns = self.simulator.clock._now
         self._queue.put(packet)
         return True
 
@@ -131,6 +149,18 @@ class Link:
     def _arrive(self, packet: Packet):
         """Fire-and-forget delivery at the far end of the propagation delay."""
         self.delivered += 1
+        tracer = self.tracer
+        if tracer is not None and packet.trace is not None:
+            trace_id, parent_id = packet.trace
+            tracer.record(
+                _obs_names.SPAN_LINK_TRANSIT,
+                trace_id,
+                parent_id,
+                packet.sent_ns,
+                self.simulator.clock._now,
+                link=self.name,
+                kind=packet.kind,
+            )
         self.deliver(packet)
         return
         yield  # pragma: no cover - makes this a (never-resumed) process

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.net.link import Link, Packet
+from repro.obs import names as _obs_names
 from repro.sim.kernel import Simulator, Timeout, WaitEvent
 from repro.sim.rand import SeededRandom
 from repro.workloads.multitenant import FleetRequest
@@ -136,6 +137,8 @@ class _Pending:
         "gateway",
         "done",
         "done_event",
+        "trace",
+        "attempt_sent_ns",
     )
 
     def __init__(self, request: GatewayRequest, done_event: Optional[WaitEvent]) -> None:
@@ -148,6 +151,11 @@ class _Pending:
         self.gateway: Optional[int] = None
         self.done = False
         self.done_event = done_event
+        #: ``(trace_id, root_span_id)`` when this request is traced, else
+        #: None — the trace id *is* the transport request id.
+        self.trace = None
+        #: When the current attempt's packet went up (its span's start).
+        self.attempt_sent_ns = 0.0
 
 
 class Transport:
@@ -174,6 +182,8 @@ class Transport:
             for _ in uplinks
         ]
         self._pending: Dict[int, _Pending] = {}
+        #: Observability tracer installed by the front door (None = untraced).
+        self.tracer = None
 
     @property
     def in_flight(self) -> int:
@@ -190,6 +200,11 @@ class Transport:
         self.stats.record_net_request(request.priority)
         pending = _Pending(request, done_event)
         pending.first_send_ns = self.clock._now
+        tracer = self.tracer
+        if tracer is not None and tracer.sampled(request.request_id):
+            # The trace id is the request id; the root client.request span is
+            # recorded at the terminal verdict with this pre-allocated id.
+            pending.trace = (request.request_id, tracer.next_span_id())
         self._pending[request.request_id] = pending
         self._send(pending)
 
@@ -220,12 +235,15 @@ class Transport:
             return
         attempt = pending.attempt
         self.stats.record_net_attempt(retry=attempt > 0)
+        if pending.trace is not None:
+            pending.attempt_sent_ns = now
         self.uplinks[pending.gateway].send(
             Packet(
                 "req",
                 request.request_id,
                 REQUEST_HEADER_BYTES + request.payload_bytes,
                 request,
+                trace=pending.trace,
             )
         )
         wait_ns = self.config.per_hop_timeout_ns
@@ -241,6 +259,7 @@ class Transport:
         if pending.done or pending.attempt != attempt:
             return  # a response or a newer attempt superseded this watcher
         self.stats.record_net_timeout()
+        self._obs_attempt_end(pending, "timeout")
         self._count_gateway_failure(pending)
         self._retry_or_fail(pending, "timeout")
 
@@ -255,8 +274,10 @@ class Transport:
         elif packet.kind == "shed":
             # Backpressure, not gateway failure: no breaker debit, just back
             # off and try again inside the deadline budget.
+            self._obs_attempt_end(pending, "shed")
             self._retry_or_fail(pending, "shed")
         else:  # "err"
+            self._obs_attempt_end(pending, str(packet.body))
             self._count_gateway_failure(pending)
             self._retry_or_fail(pending, str(packet.body))
 
@@ -275,8 +296,46 @@ class Transport:
         )
         self.breakers[pending.gateway].record_success()
         del self._pending[request.request_id]
+        if pending.trace is not None:
+            self._obs_attempt_end(pending, "resp")
+            self._obs_root_end(pending, "completed")
         if pending.done_event is not None:
             self.simulator.trigger(pending.done_event, "completed")
+
+    # --------------------------------------------------------- observability
+    def _obs_attempt_end(self, pending: _Pending, verdict: str) -> None:
+        """Close the current attempt's span at its verdict (or timeout)."""
+        trace = pending.trace
+        if trace is None:
+            return
+        self.tracer.record(
+            _obs_names.SPAN_NET_ATTEMPT,
+            trace[0],
+            trace[1],
+            pending.attempt_sent_ns,
+            self.clock._now,
+            attempt=pending.attempt,
+            gateway=pending.gateway,
+            verdict=verdict,
+        )
+
+    def _obs_root_end(self, pending: _Pending, outcome: str) -> None:
+        """Record the whole-request root span (trace known sampled)."""
+        trace = pending.trace
+        request = pending.request
+        self.tracer.record(
+            _obs_names.SPAN_CLIENT_REQUEST,
+            trace[0],
+            None,
+            pending.first_send_ns,
+            self.clock._now,
+            span_id=trace[1],
+            tenant=request.tenant,
+            function=request.function,
+            priority=request.priority,
+            outcome=outcome,
+            attempts=pending.attempt + 1,
+        )
 
     # ---------------------------------------------------------------- retry
     def _count_gateway_failure(self, pending: _Pending) -> None:
@@ -312,6 +371,19 @@ class Transport:
         yield Timeout(backoff_ns)
         if pending.done or pending.attempt != attempt:
             return
+        trace = pending.trace
+        if trace is not None:
+            # Recorded here (not at scheduling time) so a sleep superseded by
+            # a late verdict leaves no span dangling past the root.
+            now = self.clock._now
+            self.tracer.record(
+                _obs_names.SPAN_NET_BACKOFF,
+                trace[0],
+                trace[1],
+                now - backoff_ns,
+                now,
+                attempt=attempt,
+            )
         self._send(pending)
 
     def _fail(self, pending: _Pending, reason: str) -> None:
@@ -325,5 +397,7 @@ class Transport:
             self.clock.now,
         )
         del self._pending[request.request_id]
+        if pending.trace is not None:
+            self._obs_root_end(pending, reason)
         if pending.done_event is not None:
             self.simulator.trigger(pending.done_event, reason)

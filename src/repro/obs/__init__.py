@@ -1,0 +1,109 @@
+"""``repro.obs`` — deterministic observability for the whole stack.
+
+One :class:`Observability` object threads three things through every tier
+(client populations → links → gateways → transport → fleet → cards):
+
+* a :class:`~repro.obs.context.Tracer` collecting per-request span trees
+  (and per-control-plane-order traces) with seeded head-based sampling;
+* a :class:`~repro.obs.registry.MetricsRegistry` that owns every counter
+  the layers used to hand-roll, under the canonical names in
+  :mod:`repro.obs.names`;
+* exporters (:mod:`repro.obs.export`) emitting Chrome ``trace_event`` JSON
+  and flat metrics snapshots, byte-identical across processes for a fixed
+  seed.
+
+Determinism contract: with ``enabled=False`` (and with no ``Observability``
+installed at all — the default everywhere) instrumentation sites reduce to
+one ``is None`` check, no RNG is consumed, no kernel event is spawned, and
+every schedule digest and BENCH fingerprint is byte-identical to the
+pre-observability repo.  With it enabled, tracing still spawns no kernel
+work and consumes no randomness, so even *traced* runs keep their schedule
+digests — the property the perf-smoke ``obs`` section asserts.
+
+Usage::
+
+    from repro.core.builder import build_fleet, build_frontdoor
+    from repro.obs import Observability
+
+    obs = Observability(sample_rate=0.1, seed=7)
+    fleet = build_fleet(cards=2, observability=obs)
+    ...
+    export_chrome_trace(obs.spans, "trace.json")
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import names
+from repro.obs.context import Span, TraceContext, Tracer
+from repro.obs.export import (
+    chrome_trace_json,
+    export_chrome_trace,
+    export_metrics_snapshot,
+    metrics_snapshot_json,
+    to_chrome_trace,
+    trace_fingerprint,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    MetricsRegistry,
+)
+
+
+class Observability:
+    """The one knob: tracer + registry + policy, handed to the builders."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        capacity: int = 1_000_000,
+        bridge_device: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.enabled = enabled
+        #: Bridge per-card device trace events (PCI/MCU/reconfig/codec
+        #: activity) into ``card.*`` sub-spans of each service span.
+        self.bridge_device = bridge_device
+        self.tracer = Tracer(sample_rate=sample_rate, seed=seed, capacity=capacity)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if enabled:
+            tracer = self.tracer
+            self.registry.gauge(
+                names.GAUGE_SPANS_RECORDED, fn=lambda: len(tracer.spans)
+            )
+            self.registry.gauge(
+                names.GAUGE_SPANS_DROPPED, fn=lambda: tracer.dropped
+            )
+
+    @property
+    def spans(self):
+        return self.tracer.spans
+
+    def snapshot(self):
+        return self.registry.snapshot()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledCounter",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace_json",
+    "export_chrome_trace",
+    "export_metrics_snapshot",
+    "metrics_snapshot_json",
+    "names",
+    "to_chrome_trace",
+    "trace_fingerprint",
+]

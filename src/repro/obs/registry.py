@@ -1,0 +1,210 @@
+"""A small typed metrics registry: counters, gauges, labeled counters and
+sketch-backed histograms under one naming discipline.
+
+Before this module the repo had five hand-rolled accounting schemes
+(``FleetStatistics`` scalars, link packet counters, gateway/breaker tallies,
+scrubber stats, migration stats).  The registry gives them one home without
+changing any of their public faces: :class:`~repro.cluster.stats.
+FleetStatistics` keeps its attribute API (``stats.net_requests += 1`` still
+works — the attributes are descriptors over registry counters), links and
+gateways are aggregated through callback gauges, and everything lands in one
+:meth:`MetricsRegistry.snapshot` for export.
+
+Instrument names are validated against
+:data:`repro.obs.names.NAME_PATTERN` and must be unique per registry — the
+registration-time enforcement of the naming lint.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.analysis.sketch import StreamingQuantileSketch
+from repro.obs.names import NAME_RE
+
+
+class Counter:
+    """A monotonically-meant scalar (writable, so migrations stay drop-in)."""
+
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time scalar: either set explicitly or read via callback."""
+
+    __slots__ = ("name", "description", "fn", "value")
+
+    def __init__(
+        self, name: str, fn: Optional[Callable[[], float]] = None, description: str = ""
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.fn = fn
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        if self.fn is not None:
+            raise RuntimeError(f"gauge {self.name!r} is callback-backed")
+        self.value = value
+
+    def read(self) -> float:
+        return self.fn() if self.fn is not None else self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.read()})"
+
+
+class LabeledCounter(defaultdict):
+    """A counter family keyed by label — a drop-in ``defaultdict(int)``.
+
+    Subclassing keeps every existing call site (``reasons[key] += 1``,
+    ``dict(reasons)``, ``sorted(reasons.items())``) byte-for-byte unchanged
+    while the family participates in registry snapshots.
+    """
+
+    def __init__(self, name: str = "", description: str = "") -> None:
+        super().__init__(int)
+        self.name = name
+        self.description = description
+
+    def inc(self, label: Any, amount: int = 1) -> None:
+        self[label] += amount
+
+    def __reduce__(self):
+        # defaultdict's default __reduce__ would replay our __init__ with the
+        # factory as first argument; rebuild from (name, description) + items.
+        return (_rebuild_labeled, (self.name, self.description, dict(self)))
+
+
+def _rebuild_labeled(name: str, description: str, items: dict) -> "LabeledCounter":
+    counter = LabeledCounter(name, description)
+    counter.update(items)
+    return counter
+
+
+class Histogram:
+    """A distribution instrument over a deterministic streaming sketch."""
+
+    __slots__ = ("name", "description", "sketch", "count", "total")
+
+    def __init__(
+        self, name: str, description: str = "", relative_error: float = 0.01
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.sketch = StreamingQuantileSketch(relative_error=relative_error)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.sketch.add(value)
+
+    def percentile(self, percentile: float) -> float:
+        return self.sketch.percentile(percentile)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """One namespace of uniquely-named, pattern-checked instruments."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    # ---------------------------------------------------------- registration
+    def _register(self, name: str, instrument):
+        if not NAME_RE.match(name):
+            raise ValueError(
+                f"instrument name {name!r} violates the naming convention "
+                f"(lower-case dotted, [a-z0-9_.] only)"
+            )
+        if name in self._instruments:
+            raise ValueError(f"instrument {name!r} is already registered")
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._register(name, Counter(name, description))
+
+    def gauge(
+        self,
+        name: str,
+        fn: Optional[Callable[[], float]] = None,
+        description: str = "",
+    ) -> Gauge:
+        return self._register(name, Gauge(name, fn, description))
+
+    def labeled_counter(self, name: str, description: str = "") -> LabeledCounter:
+        return self._register(name, LabeledCounter(name, description))
+
+    def histogram(
+        self, name: str, description: str = "", relative_error: float = 0.01
+    ) -> Histogram:
+        return self._register(name, Histogram(name, description, relative_error))
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def get(self, name: str):
+        return self._instruments[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A flat, deterministic picture of every instrument.
+
+        Counters/gauges flatten to scalars; labeled counters to
+        ``{str(label): count}`` dicts (sorted); histograms to their summary
+        statistics.  Key order is sorted, so ``json.dumps(..., sort_keys=
+        True)`` of a snapshot is byte-stable for a fixed seed.
+        """
+        out: Dict[str, object] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[name] = instrument.read()
+            elif isinstance(instrument, LabeledCounter):
+                out[name] = {
+                    str(label): count
+                    for label, count in sorted(
+                        instrument.items(), key=lambda item: str(item[0])
+                    )
+                }
+            else:  # Histogram
+                out[name] = {
+                    "count": instrument.count,
+                    "total": instrument.total,
+                    "mean": instrument.mean,
+                    "p50": instrument.percentile(50),
+                    "p95": instrument.percentile(95),
+                    "p99": instrument.percentile(99),
+                }
+        return out

@@ -16,16 +16,22 @@ from repro.sim.clock import Clock, format_time
 
 @dataclass
 class TraceEvent:
-    """One recorded activity with a start/end time and free-form attributes."""
+    """One recorded activity with a start/end time and free-form attributes.
+
+    Times are integer nanoseconds: component clocks tick in fractional
+    cycle-derived floats, so :meth:`TraceRecorder.record` rounds to the
+    nearest nanosecond at recording time.  Integral times compare stably
+    across platforms and serialise without float-repr noise.
+    """
 
     component: str
     action: str
-    start_ns: float
-    end_ns: float
+    start_ns: int
+    end_ns: int
     attributes: Dict[str, Any] = field(default_factory=dict)
 
     @property
-    def duration_ns(self) -> float:
+    def duration_ns(self) -> int:
         return self.end_ns - self.start_ns
 
     def describe(self) -> str:
@@ -63,7 +69,11 @@ class TraceRecorder:
         if self.capacity is not None and len(self.events) >= self.capacity:
             self.dropped += 1
             return None
-        event = TraceEvent(component, action, start_ns, end_ns, dict(attributes))
+        # Round fractional clock readings to integer nanoseconds; rounding is
+        # monotonic so the end >= start invariant survives.
+        event = TraceEvent(
+            component, action, int(round(start_ns)), int(round(end_ns)), dict(attributes)
+        )
         self.events.append(event)
         return event
 

@@ -1,0 +1,220 @@
+"""Unit + property tests for the layered critical-path sweep.
+
+The module is duck-typed, so the tests drive it with a five-field stub
+rather than real ``repro.obs`` spans — anything with name / trace_id /
+span_id / parent_id / start_ns / end_ns works.  The load-bearing invariant
+is *tiling*: every critical path's segments partition the root window
+exactly, so the per-stage attribution always explains 100% of a request's
+latency.  The load-bearing behaviour is *layering*: a fleet queue wait
+beats the transport attempt that envelopes it, which is what makes the E12
+overload story legible from traces.
+"""
+
+from typing import NamedTuple, Optional
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.critical_path import (
+    Segment,
+    critical_path,
+    critical_paths,
+    dominant_stages,
+    find_root,
+    stage_breakdown,
+    stage_depth,
+    top_critical_paths,
+)
+
+
+class FakeSpan(NamedTuple):
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int]
+    start_ns: int
+    end_ns: int
+
+
+def span(name, start, end, span_id, parent=None, trace=1):
+    return FakeSpan(name, trace, span_id, parent, start, end)
+
+
+def segments_of(path):
+    return [(seg.name, seg.start_ns, seg.end_ns) for seg in path.segments]
+
+
+class TestCriticalPath:
+    def test_nested_spans_get_classic_innermost_attribution(self):
+        trace = [
+            span("client.request", 0, 100, 1),
+            span("net.attempt", 10, 90, 2, parent=1),
+            span("net.link.transit", 20, 40, 3, parent=2),
+        ]
+        path = critical_path(trace)
+        assert path.duration_ns == 100
+        assert segments_of(path) == [
+            ("client.request", 0, 10),
+            ("net.attempt", 10, 20),
+            ("net.link.transit", 20, 40),
+            ("net.attempt", 40, 90),
+            ("client.request", 90, 100),
+        ]
+
+    def test_queue_wait_beats_the_attempt_that_envelopes_it(self):
+        # The E12 shape: the attempt times out at 60 while the request is
+        # still queued until 80.  The queue stage sits deeper in the system,
+        # so it owns every instant it covers — including the overlap.
+        trace = [
+            span("client.request", 0, 100, 1),
+            span("net.attempt", 0, 60, 2, parent=1),
+            span("fleet.queue", 10, 80, 3, parent=1),
+        ]
+        path = critical_path(trace)
+        assert segments_of(path) == [
+            ("net.attempt", 0, 10),
+            ("fleet.queue", 10, 80),
+            ("client.request", 80, 100),
+        ]
+
+    def test_markers_and_out_of_window_spans_never_own_time(self):
+        trace = [
+            span("client.request", 10, 50, 1),
+            span("gw.admission", 20, 20, 2, parent=1),  # zero-width marker
+            span("net.backoff", 60, 70, 3, parent=1),  # after the root ends
+        ]
+        path = critical_path(trace)
+        assert segments_of(path) == [("client.request", 10, 50)]
+
+    def test_spans_are_clipped_to_the_root_window(self):
+        trace = [
+            span("client.request", 10, 50, 1),
+            span("fleet.queue", 0, 30, 2, parent=1),
+        ]
+        assert segments_of(critical_path(trace)) == [
+            ("fleet.queue", 10, 30),
+            ("client.request", 30, 50),
+        ]
+
+    def test_malformed_traces_return_none(self):
+        assert critical_path([]) is None
+        two_roots = [span("a.b", 0, 10, 1), span("c.d", 0, 10, 2)]
+        assert critical_path(two_roots) is None
+        assert find_root(two_roots) is None
+
+    def test_custom_depth_overrides_the_default_layering(self):
+        trace = [
+            span("client.request", 0, 100, 1),
+            span("net.attempt", 0, 60, 2, parent=1),
+            span("fleet.queue", 10, 80, 3, parent=1),
+        ]
+        flat = critical_path(trace, depth=lambda name: 0)
+        # With every stage in one layer, latest-start (call-stack) wins the
+        # overlap instead: the queue still takes [10, 60] but the attempt
+        # keeps nothing of it... the queue started later, so it wins there
+        # too; the difference shows after 60 where only the queue remains.
+        assert ("fleet.queue", 10, 80) in segments_of(flat)
+
+    def test_stage_depth_prefix_lookup(self):
+        assert stage_depth("client.request") == 0
+        assert stage_depth("net.attempt") == stage_depth("net.backoff")
+        assert stage_depth("fleet.queue") > stage_depth("net.attempt")
+        assert stage_depth("card.service") > stage_depth("fleet.queue")
+        assert stage_depth("card.fpga.execute") > stage_depth("card.service")
+        assert stage_depth("unknown.stage") == 0
+
+    def test_segment_and_path_accounting(self):
+        assert Segment("x.y", 5, 12).duration_ns == 7
+        trace = [
+            span("client.request", 0, 50, 1),
+            span("fleet.queue", 10, 30, 2, parent=1),
+        ]
+        path = critical_path(trace)
+        assert path.by_stage() == {"client.request": 30, "fleet.queue": 20}
+
+
+class TestAggregation:
+    def _spans(self):
+        out = []
+        for index, duration in enumerate((100, 200, 400)):
+            trace_id = index + 1
+            root_id = index * 10 + 1
+            out.append(
+                FakeSpan("client.request", trace_id, root_id, None, 0, duration)
+            )
+            out.append(
+                FakeSpan(
+                    "fleet.queue", trace_id, root_id + 1, root_id, 10, duration - 10
+                )
+            )
+        return out
+
+    def test_critical_paths_and_top_ordering(self):
+        paths = critical_paths(self._spans())
+        assert [path.trace_id for path in paths] == [1, 2, 3]
+        top = top_critical_paths(self._spans(), k=2)
+        assert [path.duration_ns for path in top] == [400, 200]
+
+    def test_where_filter_scopes_by_root(self):
+        kept = critical_paths(
+            self._spans(), where=lambda root: root.end_ns >= 200
+        )
+        assert [path.trace_id for path in kept] == [2, 3]
+
+    def test_dominant_stages_over_the_slowest_fraction(self):
+        # top_fraction=0.34 keeps only the slowest of the three traces.
+        dominant = dominant_stages(self._spans(), top_fraction=0.34)
+        assert dominant[0] == ("fleet.queue", 380)
+        assert dict(dominant)["client.request"] == 20
+        with pytest.raises(ValueError):
+            dominant_stages(self._spans(), top_fraction=0.0)
+        assert dominant_stages([], top_fraction=0.5) == []
+
+    def test_stage_breakdown_totals_and_order(self):
+        breakdown = stage_breakdown(self._spans())
+        assert list(breakdown) == ["client.request", "fleet.queue"]
+        assert breakdown["fleet.queue"]["count"] == 3
+        assert breakdown["fleet.queue"]["total_ns"] == 80 + 180 + 380
+        assert breakdown["client.request"]["p95_ns"] == 400
+
+
+@st.composite
+def random_trace(draw):
+    """One root plus arbitrary child spans, all inside a padded window."""
+    root_end = draw(st.integers(min_value=1, max_value=1_000))
+    spans = [FakeSpan("client.request", 1, 1, None, 0, root_end)]
+    names = ("net.attempt", "net.link.transit", "fleet.queue", "card.service")
+    children = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(names),
+                st.integers(min_value=-100, max_value=1_100),
+                st.integers(min_value=0, max_value=400),
+            ),
+            max_size=8,
+        )
+    )
+    for index, (name, start, length) in enumerate(children):
+        spans.append(FakeSpan(name, 1, index + 2, 1, start, start + length))
+    return spans
+
+
+class TestTilingProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(random_trace())
+    def test_segments_tile_the_root_window_exactly(self, trace):
+        path = critical_path(trace)
+        root = trace[0]
+        assert path.duration_ns == root.end_ns - root.start_ns
+        # Chronological, gap-free, overlap-free, exactly covering the window.
+        cursor = root.start_ns
+        for segment in path.segments:
+            assert segment.start_ns == cursor
+            assert segment.end_ns > segment.start_ns
+            cursor = segment.end_ns
+        assert cursor == root.end_ns
+        # Adjacent segments are merged, so no two neighbours share a name.
+        names = [segment.name for segment in path.segments]
+        assert all(a != b for a, b in zip(names, names[1:]))
+        assert sum(path.by_stage().values()) == path.duration_ns

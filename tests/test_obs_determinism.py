@@ -1,0 +1,106 @@
+"""Determinism contract of the observability layer.
+
+Two halves, matching the acceptance criteria:
+
+* **Off is free**: running a cell with no observability, with observability
+  constructed but ``enabled=False``, and with tracing fully on must all
+  produce byte-identical schedule digests and front-door fingerprints —
+  tracing spawns no kernel events and consumes no RNG.
+* **On is reproducible**: the exported Chrome trace, the trace fingerprint,
+  and the metrics snapshot of a fixed-seed cell are byte-identical across
+  *processes* (same pattern as ``test_net_determinism``: only a fresh
+  interpreter catches salted-hash or dict-order regressions).
+
+The cross-process snippet drives the E12 trace-explorer cell itself, so the
+example and the regression test can never drift apart.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_TRACE_SNIPPET = """
+import hashlib
+import sys
+sys.path.insert(0, "src")
+sys.path.insert(0, ".")
+from examples.trace_explorer import run_cell
+from repro.obs import chrome_trace_json, metrics_snapshot_json, trace_fingerprint
+
+frontdoor, observability = run_cell(
+    "retry+shed", requests=150, overload=3.0, loss=0.02
+)
+chrome = chrome_trace_json(observability.spans)
+print(repr(frontdoor.fingerprint()))
+print(len(observability.spans), observability.tracer.dropped)
+print(trace_fingerprint(observability.spans))
+print(hashlib.sha256(chrome.encode()).hexdigest())
+print(hashlib.sha256(metrics_snapshot_json(observability.registry).encode()).hexdigest())
+"""
+
+
+def run_snippet(snippet: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", snippet],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestObservabilityIsFreeWhenOff:
+    def test_digests_identical_across_none_disabled_enabled(self):
+        from repro.core.builder import build_fleet, build_frontdoor
+        from repro.core.config import SMALL_CONFIG
+        from repro.functions.bank import build_small_bank
+        from repro.net import LinkSpec, OpenLoopPopulation
+        from repro.obs import Observability
+        from repro.workloads.multitenant import (
+            default_tenant_mix,
+            multi_tenant_trace,
+        )
+
+        def run(observability):
+            bank = build_small_bank()
+            tenants = default_tenant_mix(bank, tenants=2, skew=1.2)
+            trace = multi_tenant_trace(
+                bank, tenants, length=60, mean_interarrival_ns=25_000.0, seed=17
+            )
+            fleet = build_fleet(
+                cards=2,
+                config=SMALL_CONFIG.with_overrides(seed=17),
+                bank=bank,
+                observability=observability,
+            )
+            frontdoor = build_frontdoor(
+                fleet,
+                seed=17,
+                gateways=2,
+                uplink=LinkSpec(latency_ns=15_000.0, loss=0.05, jitter_ns=3_000.0),
+            )
+            frontdoor.add_population(OpenLoopPopulation(trace))
+            frontdoor.run()
+            return frontdoor.fingerprint()
+
+        baseline = run(None)
+        disabled = run(Observability(enabled=False))
+        enabled = run(Observability())
+        assert disabled == baseline
+        assert enabled == baseline
+
+
+class TestCrossProcessTraceDeterminism:
+    def test_exported_trace_is_byte_identical_across_processes(self):
+        first = run_snippet(_TRACE_SNIPPET)
+        second = run_snippet(_TRACE_SNIPPET)
+        assert first == second
+        assert first.strip()
+        # The run actually traced something and dropped nothing.
+        spans, dropped = first.splitlines()[1].split()
+        assert int(spans) > 0
+        assert int(dropped) == 0

@@ -33,6 +33,20 @@ class TestTraceRecorder:
         assert recorder.dropped == 2
         assert "dropped" in recorder.report()
 
+    def test_fractional_times_round_to_integer_ns(self):
+        # Regression: recorded times must be integer nanoseconds so traces
+        # compare stably across platforms and serialise without float-repr
+        # noise (the obs bridge re-exports them as span timestamps).
+        recorder = TraceRecorder()
+        event = recorder.record("rom", "read", 1.4, 2.6)
+        assert (event.start_ns, event.end_ns) == (1, 3)
+        assert isinstance(event.start_ns, int)
+        assert isinstance(event.end_ns, int)
+        assert event.duration_ns == 2
+        # Rounding is monotonic: a non-negative float window stays valid.
+        tiny = recorder.record("rom", "read", 4.5, 4.5000001)
+        assert tiny.end_ns >= tiny.start_ns
+
     def test_span_context_manager(self):
         clock = Clock()
         recorder = TraceRecorder(clock)
