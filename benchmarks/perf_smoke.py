@@ -1097,15 +1097,18 @@ def bench_obs(
 ) -> dict:
     """Observability: tracing-off is free; tracing-on span rate + fingerprint.
 
-    Runs the ``net`` section's front-door workload three ways — no
-    observability at all, ``Observability(enabled=False)`` and a fully
-    enabled tracer with the device bridge — and asserts all three produce
-    byte-identical schedule digests: the disabled object must cost nothing,
-    and the enabled tracer must observe without perturbing (it spawns no
-    kernel events and consumes no RNG).  The enabled run then reports its
-    wall-clock span-recording rate, a fingerprint over the exported trace
-    and a digest of the metrics snapshot, so any drift in what gets traced
-    (span counts, timings, registry contents) fails ``--check``.
+    Runs the ``net`` section's front-door workload four ways — no
+    observability at all, ``Observability(enabled=False)``, a fully
+    enabled tracer with the device bridge, and the enabled tracer with
+    SLO burn-rate alerting plus tail-based sampling on top — and asserts
+    all four produce byte-identical schedule digests: the disabled object
+    must cost nothing, and the enabled stack must observe without
+    perturbing (it spawns no kernel events and consumes no RNG).  The
+    enabled run reports its wall-clock span-recording rate, a fingerprint
+    over the exported trace and a digest of the metrics snapshot; the SLO
+    run reports alert/incident counts, a fingerprint over the incident
+    JSON and the tail sampler's retention accounting, so any drift in
+    what gets traced, judged or retained fails ``--check``.
     """
     import hashlib
 
@@ -1113,7 +1116,14 @@ def bench_obs(
     from repro.core.config import SMALL_CONFIG
     from repro.functions.bank import build_small_bank
     from repro.net import AdmissionConfig, LinkSpec, OpenLoopPopulation, TransportConfig
-    from repro.obs import Observability, metrics_snapshot_json, trace_fingerprint
+    from repro.obs import (
+        Observability,
+        SloSpec,
+        TailSampler,
+        incidents_fingerprint,
+        metrics_snapshot_json,
+        trace_fingerprint,
+    )
     from repro.workloads.multitenant import default_tenant_mix, multi_tenant_trace
 
     bank = build_small_bank()
@@ -1126,7 +1136,7 @@ def bench_obs(
         seed=23,
     )
 
-    def run_frontdoor(observability=None):
+    def run_frontdoor(observability=None, slos=None):
         fleet = build_fleet(
             cards=cards,
             config=SMALL_CONFIG.with_overrides(seed=23),
@@ -1144,6 +1154,7 @@ def bench_obs(
             admission=AdmissionConfig(rate_per_s=14_000.0, burst=8.0),
             priorities={specs[0].name: 1},
             deadline_ns=30_000_000.0,
+            slos=slos,
         )
         frontdoor.add_population(OpenLoopPopulation(trace))
         start = time.perf_counter()
@@ -1191,6 +1202,54 @@ def bench_obs(
     finally:
         if gc_was_enabled:
             gc.enable()
+
+    def slo_specs():
+        return [
+            SloSpec.availability(
+                "net.availability",
+                objective=0.95,
+                source="net",
+                fast_ns=500_000.0,
+                slow_ns=2_000_000.0,
+                burn_threshold=2.0,
+                min_events=5,
+            ),
+            SloSpec.latency(
+                "net.latency.p95",
+                threshold_ns=400_000.0,
+                objective=0.9,
+                source="net",
+                fast_ns=500_000.0,
+                slow_ns=2_000_000.0,
+                burn_threshold=2.0,
+                min_events=5,
+            ),
+        ]
+
+    slo_print = None
+    slo_rate = 0.0
+    for _ in range(2):  # two runs: the second cross-checks determinism
+        observability = Observability(tail=TailSampler(slow_ns=400_000.0))
+        _, stats, elapsed = run_frontdoor(observability, slos=slo_specs())
+        if stats.schedule_digest() != baseline_digest:
+            raise AssertionError("SLOs + tail sampling perturbed the schedule")
+        tail = observability.tail.summary()
+        run_print = (
+            len(observability.alerts),
+            len(observability.incidents),
+            incidents_fingerprint(observability.recorder),
+            tail["retained_traces"],
+            tail["retained_spans"],
+            tail["discarded_traces"],
+        )
+        if slo_print is None:
+            slo_print = run_print
+        elif run_print != slo_print:
+            raise AssertionError(
+                f"non-deterministic SLO/tail run: {run_print} != {slo_print}"
+            )
+        slo_rate = max(slo_rate, tail["retained_spans"] / elapsed)
+
     return {
         "tracing": {
             "cards": cards,
@@ -1205,7 +1264,17 @@ def bench_obs(
             "trace_fingerprint": fingerprint[4],
             "metrics_snapshot_sha": fingerprint[5],
             "spans_per_s": round(best_rate, 1),
-        }
+        },
+        "slo": {
+            "digest_identical_with_slos": True,
+            "alerts": slo_print[0],
+            "incidents": slo_print[1],
+            "incidents_fingerprint": slo_print[2],
+            "tail_retained_traces": slo_print[3],
+            "tail_retained_spans": slo_print[4],
+            "tail_discarded_traces": slo_print[5],
+            "tail_spans_per_s": round(slo_rate, 1),
+        },
     }
 
 

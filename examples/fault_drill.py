@@ -27,6 +27,7 @@ from repro.core.builder import build_coprocessor, build_fleet
 from repro.core.config import SMALL_CONFIG, CoprocessorConfig
 from repro.faults import FaultInjector, FaultSpec
 from repro.functions.bank import build_default_bank, build_small_bank
+from repro.obs import Observability, names as obs_names
 from repro.workloads import default_tenant_mix, multi_tenant_trace
 
 FLEET_SET = ["sha1", "crc32", "fir16", "strmatch", "bitonic64", "parity32"]
@@ -96,6 +97,7 @@ def fleet_act(tiny: bool) -> None:
         card_kill_times_ns=((kill_at, 0),),
         seed=4,
     )
+    obs = Observability(seed=4)
     fleet = build_fleet(
         cards=cards,
         config=config,
@@ -106,6 +108,7 @@ def fleet_act(tiny: bool) -> None:
         fault_tolerance=True,
         scrub_period_ns=100_000.0,
         fault_spec=spec,
+        observability=obs,
     )
     print(trace.describe())
     print(f"card0 scheduled to die at {kill_at / 1e6:.2f} ms; "
@@ -128,6 +131,19 @@ def fleet_act(tiny: bool) -> None:
     for row in fleet.card_summaries():
         print(f"  {row['card']:<7} health={row['health']:<9} "
               f"served={row['served']:<5} resident=[{row['resident']}]")
+
+    snap = obs.registry.snapshot()
+    failovers = sorted(snap[obs_names.METRIC_FAILOVERS_BY_REASON].items())
+    reasons = ", ".join(f"{reason}={count}" for reason, count in failovers)
+    print()
+    print("the same drill, read off the metrics registry:")
+    print(f"  {obs_names.METRIC_CARD_FAILURES}={snap[obs_names.METRIC_CARD_FAILURES]}  "
+          f"{obs_names.METRIC_HEAL_ORDERS}={snap[obs_names.METRIC_HEAL_ORDERS]}  "
+          f"{obs_names.GAUGE_CARDS_DOWN}={snap[obs_names.GAUGE_CARDS_DOWN]}")
+    print(f"  failovers by reason: {reasons or '(none)'}")
+    print(f"  {len(obs.spans)} spans recorded "
+          f"(order.scrub/order.heal among them: "
+          f"{sum(1 for s in obs.spans if s.name.startswith('order.'))})")
 
 
 def main(tiny: bool = False) -> None:

@@ -30,6 +30,7 @@ from repro.core.builder import build_coprocessor, build_fleet
 from repro.core.config import SMALL_CONFIG, CoprocessorConfig
 from repro.core.host import build_host_system
 from repro.functions.bank import build_default_bank, build_small_bank
+from repro.obs import Observability, names as obs_names
 from repro.workloads import default_tenant_mix, multi_tenant_trace
 
 #: 26 frames on a 32-frame fabric: the whole set fits on one card, which is
@@ -116,6 +117,7 @@ def fleet_act(tiny: bool) -> None:
     )
 
     def run(rebalance: bool):
+        obs = Observability(seed=11) if rebalance else None
         fleet = build_fleet(
             cards=cards,
             config=config,
@@ -125,14 +127,15 @@ def fleet_act(tiny: bool) -> None:
             queue_depth=16,
             rebalance_period_ns=50_000.0 if rebalance else None,
             rebalance_min_queue_skew=8,
+            observability=obs,
         )
         for name in FLEET_SET:
             fleet.cards[0].driver.preload(name)  # everything on card 0
         stats = fleet.run(trace)
-        return fleet, stats
+        return fleet, stats, obs
 
-    skewed_fleet, skewed = run(rebalance=False)
-    balanced_fleet, balanced = run(rebalance=True)
+    skewed_fleet, skewed, _ = run(rebalance=False)
+    balanced_fleet, balanced, obs = run(rebalance=True)
     summary = balanced_fleet.rebalance_summary()
     print(trace.describe())
     print("whole working set warmed onto card0; affinity pins every request there")
@@ -150,6 +153,21 @@ def fleet_act(tiny: bool) -> None:
     print("where the functions ended up:")
     for row in balanced_fleet.card_summaries():
         print(f"  {row['card']:<7} served={row['served']:<5} resident=[{row['resident']}]")
+
+    snap = obs.registry.snapshot()
+    migrate_spans = sum(
+        1 for s in obs.spans if s.name.startswith("order.migrate")
+    )
+    print()
+    print("the rebalanced run, read off the metrics registry:")
+    print(f"  {obs_names.METRIC_MIGRATION_ORDERS}="
+          f"{snap[obs_names.METRIC_MIGRATION_ORDERS]}  "
+          f"{obs_names.METRIC_MIGRATIONS_COMPLETED}="
+          f"{snap[obs_names.METRIC_MIGRATIONS_COMPLETED]}  "
+          f"{obs_names.METRIC_MIGRATED_FRAMES}="
+          f"{snap[obs_names.METRIC_MIGRATED_FRAMES]}")
+    print(f"  {len(obs.spans)} spans recorded, "
+          f"{migrate_spans} of them order.migrate.* phases")
 
 
 def main(tiny: bool = False) -> None:

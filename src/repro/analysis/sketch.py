@@ -297,6 +297,25 @@ class WindowedTimeSeries:
             for index, (count, total) in sorted(self._windows.items())
         ]
 
+    def trailing(self, now_ns: float, horizon_ns: float) -> Tuple[int, float]:
+        """``(count, value_sum)`` over windows touching ``(now - horizon, now]``.
+
+        Window-granular on purpose: the SLO engine trades sub-window
+        precision for O(retained windows) evaluation with zero extra state.
+        Windows older than the ring has retained are simply absent, which
+        under-counts long horizons on very bursty streams — callers size
+        ``max_windows`` to cover their largest horizon.
+        """
+        lo = int((now_ns - horizon_ns) // self.window_ns)
+        hi = int(now_ns // self.window_ns)
+        count = 0
+        value = 0.0
+        for index, (window_count, window_value) in self._windows.items():
+            if lo <= index <= hi:
+                count += int(window_count)
+                value += window_value
+        return count, value
+
     def peak_rate_per_s(self) -> float:
         """Highest per-window event rate, scaled to events/second."""
         if not self._windows:

@@ -409,6 +409,9 @@ class Fleet:
             mode=stats_mode,
             registry=observability.registry if observability is not None else None,
         )
+        #: The incident flight recorder's fault-event feed (None without SLOs).
+        self._recorder = None
+        self._bind_obs_watchers()
         if self._tracer is not None:
             self._register_fleet_gauges(observability.registry)
             if observability.bridge_device:
@@ -517,6 +520,27 @@ class Fleet:
         registry.gauge(
             names.GAUGE_SOJOURN_P99, fn=lambda: stats.latency_percentile(99)
         )
+
+    def _bind_obs_watchers(self) -> None:
+        """Hook the SLO engine and flight recorder into the record paths.
+
+        Called at construction and again by the builders when SLOs are
+        installed on an already-built fleet (``build_frontdoor(slos=...)``).
+        Both hooks are passive consumers of events the stats object already
+        sees, so binding them cannot change any schedule digest.
+        """
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return
+        self.stats.slo_engine = obs.slo_engine
+        self._recorder = obs.recorder
+
+    def record_fault_event(self, kind: str, card_name: str, **attrs) -> None:
+        """Feed one fault-domain event (kill/wedge/upset/stall/recover) to
+        the incident flight recorder; no-op when none is installed."""
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.on_fault(kind, card_name, int(self.clock._now), **attrs)
 
     def _obs_register(self, request: FleetRequest, trace_id: int, parent_id: int) -> None:
         """Adopt a net-layer trace context for *request* (gateway admission).
@@ -1344,6 +1368,7 @@ class Fleet:
         card.health = "down"
         card.down_since_ns = now
         self.stats.record_card_failure(card.name, now)
+        self.record_fault_event("kill", card.name)
         if self.heal_on_failure:
             self._schedule_heals(card, now)
         return True
@@ -1361,6 +1386,7 @@ class Fleet:
         card.driver.coprocessor.device.port.wedge()
         until = self.clock.now + duration_ns
         card.degraded_until_ns = max(card.degraded_until_ns, until)
+        self.record_fault_event("wedge", card.name, duration_ns=int(duration_ns))
         if card.health != "degraded":
             card.health = "degraded"
             self.stats.record_card_degraded(card.name, self.clock.now)
@@ -1377,6 +1403,7 @@ class Fleet:
         if card.health == "degraded":
             card.health = "up"
             self.stats.record_card_recovered(card.name, self.clock.now)
+            self.record_fault_event("recover", card.name)
 
     def _schedule_heals(self, dead: FleetCard, killed_at_ns: float) -> None:
         """Re-resident-ize the dead card's hottest functions on survivors."""
@@ -1447,6 +1474,12 @@ class Fleet:
             self._arrivals(trace), name="fleet-arrivals"
         )
         self.simulator.run(until_ns=until_ns)
+        # End-of-run observability settlement: flush the tail sampler's
+        # rootless traces and close open incidents — but only at quiescence.
+        # An ``until_ns``-truncated run still has traces in flight; flushing
+        # them now would finalize half-trees the drain will complete.
+        if self.obs is not None and self.is_idle:
+            self.obs.finish(self.clock.now)
         return self.stats
 
     # --------------------------------------------------------------- queries
@@ -1484,29 +1517,49 @@ class Fleet:
         return rows
 
     def fault_summary(self) -> dict:
-        """Aggregate reliability picture across the whole fleet."""
-        detected = corrected = uncorrectable = passes = frames_checked = 0
-        hazard_executions = 0
-        for card in self.cards:
-            scrubber = card.driver.coprocessor.scrubber
-            if scrubber is not None:
-                detected += scrubber.stats.detected
-                corrected += scrubber.stats.corrected
-                uncorrectable += scrubber.stats.uncorrectable
-                passes += scrubber.stats.passes
-                frames_checked += scrubber.stats.frames_checked
-            detector = card.hazard_detector
-            if detector is not None:
-                hazard_executions += detector.hazard_executions
+        """Aggregate reliability picture across the whole fleet.
+
+        Counter values come back through :meth:`MetricsRegistry.snapshot`
+        (the counters *are* registry instruments, so the numbers are
+        identical) — drill reports and the registry cannot drift apart.  On
+        an observed fleet the scrub/hazard aggregates read from the callback
+        gauges registered at construction; unobserved fleets compute the
+        same sums directly.
+        """
+        registry = self.stats.registry
+        snap = registry.snapshot()
+        if _obs_names.GAUGE_SCRUB_PASSES in registry:
+            passes = snap[_obs_names.GAUGE_SCRUB_PASSES]
+            frames_checked = snap[_obs_names.GAUGE_SCRUB_FRAMES_CHECKED]
+            detected = snap[_obs_names.GAUGE_SCRUB_DETECTED]
+            corrected = snap[_obs_names.GAUGE_SCRUB_CORRECTED]
+            uncorrectable = snap[_obs_names.GAUGE_SCRUB_UNCORRECTABLE]
+            hazard_executions = snap[_obs_names.GAUGE_HAZARD_EXECUTIONS]
+            cards_down = snap[_obs_names.GAUGE_CARDS_DOWN]
+        else:
+            detected = corrected = uncorrectable = passes = frames_checked = 0
+            hazard_executions = 0
+            for card in self.cards:
+                scrubber = card.driver.coprocessor.scrubber
+                if scrubber is not None:
+                    detected += scrubber.stats.detected
+                    corrected += scrubber.stats.corrected
+                    uncorrectable += scrubber.stats.uncorrectable
+                    passes += scrubber.stats.passes
+                    frames_checked += scrubber.stats.frames_checked
+                detector = card.hazard_detector
+                if detector is not None:
+                    hazard_executions += detector.hazard_executions
+            cards_down = sum(1 for card in self.cards if card.health == "down")
         stats = self.stats
         return {
             "availability": self.availability(),
             "service_availability": stats.service_availability,
-            "cards_down": sum(1 for card in self.cards if card.health == "down"),
-            "card_failures": stats.card_failures,
-            "failovers": stats.failovers,
-            "heal_orders": stats.heal_orders,
-            "heals_completed": stats.heals_completed,
+            "cards_down": cards_down,
+            "card_failures": snap[_obs_names.METRIC_CARD_FAILURES],
+            "failovers": snap[_obs_names.METRIC_FAILOVERS],
+            "heal_orders": snap[_obs_names.METRIC_HEAL_ORDERS],
+            "heals_completed": snap[_obs_names.METRIC_HEALS_COMPLETED],
             "mttr_ns": stats.mttr_ns,
             "scrub_passes": passes,
             "scrub_frames_checked": frames_checked,
@@ -1514,7 +1567,7 @@ class Fleet:
             "scrub_corrected": corrected,
             "scrub_uncorrectable": uncorrectable,
             "hazard_executions": hazard_executions,
-            "hazard_completions": stats.hazard_completions,
+            "hazard_completions": snap[_obs_names.METRIC_HAZARD_COMPLETIONS],
             "silent_corruption_rate": stats.silent_corruption_rate,
         }
 

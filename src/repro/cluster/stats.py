@@ -145,6 +145,12 @@ class FleetStatistics:
         #: also appended here as a compact tuple so shard streams can be
         #: merged deterministically; drained per epoch to bound memory.
         self._record_log: Optional[List[tuple]] = None
+        #: Optional passive SLO evaluator (:class:`~repro.obs.slo.SloEngine`)
+        #: fed from the record paths below — one ``is None`` check per
+        #: record, the same no-cost-when-absent shape as ``_record_log``.
+        #: The engine never touches ``_note``, so schedule digests are
+        #: byte-identical with SLOs on or off.
+        self.slo_engine = None
         self.arrivals = 0
         self.dispatched = 0
         self.rejected = 0
@@ -236,6 +242,8 @@ class FleetStatistics:
         self._note(f"reject|{tenant}|{function}|{now_ns!r}".encode())
         if self._record_log is not None:
             self._record_log.append(("reject", now_ns, tenant, function))
+        if self.slo_engine is not None:
+            self.slo_engine.on_fleet_bad(now_ns)
 
     def record_dispatch(self, tenant: str, card_name: str) -> None:
         self.dispatched += 1
@@ -324,6 +332,8 @@ class FleetStatistics:
         self._note(f"expire|{tenant}|{function}|{now_ns!r}".encode())
         if self._record_log is not None:
             self._record_log.append(("expire", now_ns, tenant, function))
+        if self.slo_engine is not None:
+            self.slo_engine.on_fleet_bad(now_ns)
 
     def record_net_request(self, priority: int) -> None:
         self.net_requests += 1
@@ -358,6 +368,8 @@ class FleetStatistics:
             f"net-done|{request_id}|{tenant}|{function}|{attempts}|"
             f"{first_send_ns!r}|{completed_ns!r}".encode()
         )
+        if self.slo_engine is not None:
+            self.slo_engine.on_net_completion(completed_ns, latency_ns)
 
     def record_net_failure(
         self, request_id: int, tenant: str, priority: int, reason: str, now_ns: float
@@ -365,6 +377,8 @@ class FleetStatistics:
         self.net_failed += 1
         self.net_failure_reasons[reason] += 1
         self._note(f"net-fail|{request_id}|{tenant}|{reason}|{now_ns!r}".encode())
+        if self.slo_engine is not None:
+            self.slo_engine.on_net_bad(now_ns)
 
     def record_shed(self, tenant: str, priority: int, now_ns: float) -> None:
         self.shed_total += 1
@@ -449,6 +463,8 @@ class FleetStatistics:
                     hazard,
                 )
             )
+        if self.slo_engine is not None:
+            self.slo_engine.on_fleet_completion(completed_ns, sojourn_ns, hazard)
 
     # -------------------------------------------------------------- derived
     @property
@@ -604,20 +620,28 @@ class FleetStatistics:
 
     def net_summary(self) -> Dict[str, float]:
         """Client-visible front-door picture (all zeros when the net layer
-        is unused)."""
+        is unused).
+
+        Counter values are read back through :meth:`MetricsRegistry.snapshot`
+        rather than the attribute descriptors — the counters *are* the
+        registry instruments, so the values are identical, but routing the
+        report through the snapshot means drill output and the registry can
+        never drift apart.
+        """
+        snap = self.registry.snapshot()
         return {
-            "net_requests": float(self.net_requests),
-            "net_completed": float(self.net_completed),
-            "net_failed": float(self.net_failed),
-            "net_attempts": float(self.net_attempts),
-            "net_retries": float(self.net_retries),
-            "net_timeouts": float(self.net_timeouts),
-            "shed_total": float(self.shed_total),
-            "expired": float(self.expired),
-            "breaker_opens": float(self.breaker_opens),
-            "breaker_fast_fails": float(self.breaker_fast_fails),
-            "duplicates_suppressed": float(self.duplicates_suppressed),
-            "duplicates_served": float(self.duplicates_served),
+            "net_requests": float(snap[_names.METRIC_NET_REQUESTS]),
+            "net_completed": float(snap[_names.METRIC_NET_COMPLETED]),
+            "net_failed": float(snap[_names.METRIC_NET_FAILED]),
+            "net_attempts": float(snap[_names.METRIC_NET_ATTEMPTS]),
+            "net_retries": float(snap[_names.METRIC_NET_RETRIES]),
+            "net_timeouts": float(snap[_names.METRIC_NET_TIMEOUTS]),
+            "shed_total": float(snap[_names.METRIC_NET_SHED]),
+            "expired": float(snap[_names.METRIC_EXPIRED]),
+            "breaker_opens": float(snap[_names.METRIC_BREAKER_OPENS]),
+            "breaker_fast_fails": float(snap[_names.METRIC_BREAKER_FAST_FAILS]),
+            "duplicates_suppressed": float(snap[_names.METRIC_DUPLICATES_SUPPRESSED]),
+            "duplicates_served": float(snap[_names.METRIC_DUPLICATES_SERVED]),
             "client_availability": self.client_availability,
             "mean_net_latency_us": self.mean_net_latency_ns / 1e3,
             "p95_net_latency_us": self.net_latency_percentile(95) / 1e3,

@@ -104,6 +104,7 @@ def build_fleet(
     card_indices: Optional[Sequence[int]] = None,
     admission_batch: int = 1,
     observability=None,
+    slos=None,
 ):
     """Wire *cards* identical co-processor cards into a ready :class:`Fleet`.
 
@@ -133,11 +134,23 @@ def build_fleet(
     then records request/order spans on its tracer and registers its
     counters and gauges on its metrics registry.  ``None`` (the default)
     keeps the fully uninstrumented, digest-frozen schedule.
+
+    ``slos`` accepts a sequence of :class:`repro.obs.SloSpec`: the specs are
+    installed on *observability* (one is created when ``None``), turning on
+    burn-rate alerting and the incident flight recorder.  SLO evaluation is
+    passive — schedule digests stay byte-identical with or without it.
     """
     from repro.cluster.fleet import Fleet
 
     if cards <= 0:
         raise ValueError("a fleet needs at least one card")
+    if slos:
+        from repro.obs import Observability
+
+        if observability is None:
+            observability = Observability(slos=slos)
+        else:
+            observability.install_slos(slos)
     drivers = [
         build_host_driver(config=config, bank=bank, functions=functions)
         for _ in range(cards)
@@ -189,6 +202,7 @@ def build_frontdoor(
     priorities=None,
     deadline_ns: Optional[float] = None,
     probe_period_ns: float = 1_000_000.0,
+    slos=None,
 ):
     """Put *fleet* behind a network front door (see :mod:`repro.net`).
 
@@ -201,10 +215,25 @@ def build_frontdoor(
     ``admission`` an :class:`~repro.net.gateway.AdmissionConfig` (``None``
     admits everything), ``priorities`` a tenant→priority map and
     ``deadline_ns`` the per-request deadline budget from first send.
+
+    ``slos`` installs :class:`repro.obs.SloSpec` objectives (typically
+    ``source="net"`` specs judging the client-visible stream) on the fleet's
+    :class:`~repro.obs.Observability`, which must have been handed to
+    :func:`build_fleet` — SLOs need the registry and record hooks that only
+    an observed fleet has.
     """
     from repro.net import FrontDoor
     from repro.sim.rand import SeededRandom
 
+    if slos:
+        obs = fleet.obs
+        if obs is None or not obs.enabled:
+            raise ValueError(
+                "build_frontdoor(slos=...) needs a fleet built with an "
+                "enabled Observability"
+            )
+        obs.install_slos(slos)
+        fleet._bind_obs_watchers()
     return FrontDoor(
         fleet,
         SeededRandom(seed).fork("net"),

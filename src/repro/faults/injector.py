@@ -118,8 +118,11 @@ class FaultInjector:
                 return
             card = cards[rng.integer(0, len(cards) - 1)]
             memory = card.driver.coprocessor.device.memory
-            self.upset_memory(memory, rng=rng)
+            address, changed = self.upset_memory(memory, rng=rng)
             self.per_card_upsets[card.name] += 1
+            fleet.record_fault_event(
+                "upset", card.name, frame=str(address), effective=changed
+            )
 
     def _port_fault_process(self, fleet):
         rng = self._port_rng
@@ -138,6 +141,9 @@ class FaultInjector:
                 # absorbs the delay; no health change, nothing to recover.
                 card.driver.coprocessor.device.port.stall_for(duration)
                 self.port_faults += 1
+                fleet.record_fault_event(
+                    "stall", card.name, duration_ns=int(duration)
+                )
             elif fleet.degrade_card(card.index, duration):
                 self.port_faults += 1
 

@@ -213,6 +213,13 @@ class FrontDoor:
                 )
         self._populations = []
         fleet.simulator.run(until_ns)
+        # Same end-of-run observability settlement as Fleet.run (this path
+        # drives the simulator itself, so the fleet's own hook never fires);
+        # idle-guarded for the same reason — a truncated run still has
+        # traces in flight that the drain will complete.
+        obs = fleet.obs
+        if obs is not None and fleet.is_idle:
+            obs.finish(fleet.clock.now)
         return fleet.stats
 
     # ------------------------------------------------------------- forensics

@@ -33,7 +33,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.obs import names
 from repro.obs.context import Span, TraceContext, Tracer
@@ -45,6 +45,13 @@ from repro.obs.export import (
     to_chrome_trace,
     trace_fingerprint,
 )
+from repro.obs.incident import (
+    FlightRecorder,
+    Incident,
+    export_incidents,
+    incidents_fingerprint,
+    incidents_json,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -52,6 +59,8 @@ from repro.obs.registry import (
     LabeledCounter,
     MetricsRegistry,
 )
+from repro.obs.slo import Alert, BurnWindow, SloEngine, SloSpec
+from repro.obs.tail import TailSampler
 
 
 class Observability:
@@ -65,6 +74,8 @@ class Observability:
         capacity: int = 1_000_000,
         bridge_device: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        slos: Optional[Sequence[SloSpec]] = None,
+        tail: Optional[TailSampler] = None,
     ) -> None:
         self.enabled = enabled
         #: Bridge per-card device trace events (PCI/MCU/reconfig/codec
@@ -72,6 +83,9 @@ class Observability:
         self.bridge_device = bridge_device
         self.tracer = Tracer(sample_rate=sample_rate, seed=seed, capacity=capacity)
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.slo_engine: Optional[SloEngine] = None
+        self.recorder: Optional[FlightRecorder] = None
+        self.tail: Optional[TailSampler] = None
         if enabled:
             tracer = self.tracer
             self.registry.gauge(
@@ -80,28 +94,106 @@ class Observability:
             self.registry.gauge(
                 names.GAUGE_SPANS_DROPPED, fn=lambda: tracer.dropped
             )
+            if tail is True:
+                tail = TailSampler()
+            if tail is not None:
+                self._install_tail(tail)
+            if slos:
+                self.install_slos(slos)
 
+    # --------------------------------------------------------- installation
+    def install_slos(self, specs: Sequence[SloSpec]) -> "SloEngine":
+        """Build the SLO engine + flight recorder (idempotent per instance).
+
+        Called from ``__init__`` (``Observability(slos=[...])``) or by the
+        builders when specs arrive after construction
+        (``build_frontdoor(fleet, slos=[...])``).
+        """
+        if not self.enabled:
+            raise ValueError("cannot install SLOs on a disabled Observability")
+        if self.slo_engine is not None:
+            raise ValueError("SLOs are already installed on this Observability")
+        engine = SloEngine(specs, registry=self.registry)
+        recorder = FlightRecorder(registry=self.registry)
+        engine.on_alert = recorder.on_alert
+        engine.on_resolve = recorder.on_resolved
+        self.tracer._observer = recorder.on_span
+        if self.tail is not None:
+            self.tail.incident_windows = recorder.incident_windows
+            self.tail.on_retain = recorder.on_retained_trace
+        self.slo_engine = engine
+        self.recorder = recorder
+        return engine
+
+    def _install_tail(self, sampler: TailSampler) -> None:
+        self.tail = sampler
+        self.tracer.tail_sampler = sampler
+        self.registry.gauge(
+            names.GAUGE_TAIL_RETAINED, fn=lambda: sampler.retained_traces
+        )
+        self.registry.gauge(
+            names.GAUGE_TAIL_DISCARDED, fn=lambda: sampler.discarded_traces
+        )
+        self.registry.gauge(
+            names.GAUGE_TAIL_BUDGET_DROPPED,
+            fn=lambda: sampler.budget_dropped_traces,
+        )
+        if self.recorder is not None:
+            sampler.incident_windows = self.recorder.incident_windows
+            sampler.on_retain = self.recorder.on_retained_trace
+
+    # -------------------------------------------------------------- teardown
+    def finish(self, now_ns: float) -> None:
+        """End-of-run settlement: flush the tail sampler's rootless traces
+        and close still-open incidents.  No-op without SLOs/tail (or when
+        disabled), and safe to call more than once."""
+        if not self.enabled:
+            return
+        if self.tail is not None:
+            self.tail.flush(self.tracer)
+        if self.recorder is not None:
+            self.recorder.flush(now_ns)
+
+    # --------------------------------------------------------------- queries
     @property
     def spans(self):
         return self.tracer.spans
+
+    @property
+    def alerts(self):
+        return self.slo_engine.alerts if self.slo_engine is not None else []
+
+    @property
+    def incidents(self):
+        return self.recorder.incidents if self.recorder is not None else []
 
     def snapshot(self):
         return self.registry.snapshot()
 
 
 __all__ = [
+    "Alert",
+    "BurnWindow",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "Incident",
     "LabeledCounter",
     "MetricsRegistry",
     "Observability",
+    "SloEngine",
+    "SloSpec",
     "Span",
+    "TailSampler",
     "TraceContext",
     "Tracer",
     "chrome_trace_json",
     "export_chrome_trace",
+    "export_incidents",
     "export_metrics_snapshot",
+    "incidents_fingerprint",
+    "incidents_json",
     "metrics_snapshot_json",
     "names",
     "to_chrome_trace",

@@ -125,6 +125,14 @@ class Tracer:
         self._next_trace = 1
         #: Inclusive CRC-32 acceptance threshold for head-based sampling.
         self._threshold = int(sample_rate * 0xFFFFFFFF)
+        #: Optional tail-based retention policy (a
+        #: :class:`~repro.obs.tail.TailSampler`).  When set, recorded spans
+        #: are buffered per trace and only committed to ``spans`` once the
+        #: whole trace is judged worth keeping.
+        self.tail_sampler = None
+        #: Optional per-span observer (the incident flight recorder's feed).
+        #: Sees every recorded span regardless of tail retention.
+        self._observer = None
 
     # ------------------------------------------------------------- identity
     def new_trace_id(self) -> int:
@@ -172,21 +180,59 @@ class Tracer:
         if span_id is None:
             span_id = self._next_span
             self._next_span = span_id + 1
-        if len(self.spans) >= self.capacity:
-            self.dropped += 1
-            return span_id
-        self.spans.append(
-            Span(
-                name,
-                trace_id,
-                span_id,
-                parent_id,
-                int(round(start_ns)),
-                int(round(end_ns)),
-                attrs,
+        tail = self.tail_sampler
+        if tail is None and self._observer is None:
+            # Historical fast path: head sampling only.
+            if len(self.spans) >= self.capacity:
+                self.dropped += 1
+                return span_id
+            self.spans.append(
+                Span(
+                    name,
+                    trace_id,
+                    span_id,
+                    parent_id,
+                    int(round(start_ns)),
+                    int(round(end_ns)),
+                    attrs,
+                )
             )
+            return span_id
+        span = Span(
+            name,
+            trace_id,
+            span_id,
+            parent_id,
+            int(round(start_ns)),
+            int(round(end_ns)),
+            attrs,
         )
+        if self._observer is not None:
+            self._observer(span)
+        if tail is not None:
+            tail.offer(self, span)
+        elif len(self.spans) >= self.capacity:
+            self.dropped += 1
+        else:
+            self.spans.append(span)
         return span_id
+
+    def commit(self, spans: List[Span]) -> int:
+        """Retain already-constructed spans (the tail sampler's keep path).
+
+        Honours ``capacity`` the same way :meth:`record` does; returns how
+        many spans were actually retained.
+        """
+        room = self.capacity - len(self.spans)
+        if room <= 0:
+            self.dropped += len(spans)
+            return 0
+        kept = spans[:room]
+        self.spans.extend(kept)
+        overflow = len(spans) - len(kept)
+        if overflow > 0:
+            self.dropped += overflow
+        return len(kept)
 
     def marker(
         self,

@@ -1,0 +1,336 @@
+"""The incident flight recorder: evidence capture keyed to alert-fire.
+
+When a burn-rate :class:`~repro.obs.slo.Alert` fires, the interesting data
+is mostly in the *past* — the card kill that started the burn, the failovers
+that followed, the heal orders already in flight.  The
+:class:`FlightRecorder` therefore keeps small bounded rings of recent
+symptom/control-plane spans and fault events at all times (a flight
+recorder, not a camera you turn on after the crash), and on alert-fire
+snapshots them into an :class:`Incident`:
+
+* a correlated **timeline** — fault events (kills / wedges / upsets /
+  stalls), ``order.*`` control-plane spans, symptom markers and the
+  alert/resolve edges, merged in time order on the simulated clock;
+* **metric deltas** — the registry snapshot at open vs. close, reduced to
+  the numeric keys that moved;
+* **retained traces** — summaries of the tail-sampled traces whose extent
+  overlaps the incident window (the evidence head sampling throws away).
+
+Incidents export as canonical JSON (:func:`incidents_json` /
+:func:`export_incidents`) next to the Chrome trace, with a short
+:func:`incidents_fingerprint` for BENCH files and cross-process tests.
+
+Determinism: the recorder only folds over streams that are already
+deterministic (spans, fault callbacks, registry state) using the simulated
+clock — no wall clock, no RNG, no kernel events — so the exported JSON is
+byte-identical across processes for a fixed workload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.obs import names
+from repro.obs.context import Span
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import Alert
+
+#: Span names worth a timeline entry: control-plane orders + failure markers.
+_TIMELINE_MARKERS = frozenset(
+    (
+        names.SPAN_FLEET_FAILOVER,
+        names.SPAN_FLEET_REJECTED,
+        names.SPAN_FLEET_EXPIRED,
+    )
+)
+_ORDER_PREFIX = "order."
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+class Incident:
+    """One opened (and eventually closed) incident with its evidence."""
+
+    __slots__ = (
+        "incident_id",
+        "slo",
+        "window",
+        "opened_ns",
+        "closed_ns",
+        "burn_fast",
+        "burn_slow",
+        "timeline",
+        "dropped_timeline_events",
+        "metric_deltas",
+        "traces",
+        "_snapshot_at_open",
+    )
+
+    def __init__(self, incident_id: int, alert: Alert, opened_ns: int) -> None:
+        self.incident_id = incident_id
+        self.slo = alert.slo
+        self.window = alert.window
+        self.opened_ns = opened_ns
+        self.closed_ns: Optional[int] = None
+        self.burn_fast = alert.burn_fast
+        self.burn_slow = alert.burn_slow
+        #: Time-ordered ``{"t_ns": ..., "kind": ..., ...}`` event dicts.
+        self.timeline: List[Dict[str, Any]] = []
+        self.dropped_timeline_events = 0
+        self.metric_deltas: Dict[str, float] = {}
+        #: Summaries of tail-retained traces overlapping this incident.
+        self.traces: List[Dict[str, Any]] = []
+        self._snapshot_at_open: Dict[str, float] = {}
+
+    @property
+    def open(self) -> bool:
+        return self.closed_ns is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "incident_id": self.incident_id,
+            "slo": self.slo,
+            "window": self.window,
+            "opened_ns": self.opened_ns,
+            "closed_ns": self.closed_ns,
+            "burn_fast": round(self.burn_fast, 6),
+            "burn_slow": round(self.burn_slow, 6),
+            "timeline": self.timeline,
+            "dropped_timeline_events": self.dropped_timeline_events,
+            "metric_deltas": dict(sorted(self.metric_deltas.items())),
+            "traces": self.traces,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else f"closed@{self.closed_ns}"
+        return f"Incident(#{self.incident_id} {self.slo!r} @{self.opened_ns}, {state})"
+
+
+class FlightRecorder:
+    """Bounded always-on rings + per-alert incident capture."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        span_ring: int = 512,
+        fault_ring: int = 256,
+        max_incidents: int = 16,
+        max_timeline_events: int = 256,
+        max_traces_per_incident: int = 32,
+        lookback_ns: float = 2_000_000.0,
+    ) -> None:
+        if max_incidents < 1:
+            raise ValueError("max_incidents must be positive")
+        self._span_ring: deque = deque(maxlen=span_ring)
+        self._fault_ring: deque = deque(maxlen=fault_ring)
+        self.max_incidents = max_incidents
+        self.max_timeline_events = max_timeline_events
+        self.max_traces_per_incident = max_traces_per_incident
+        self.lookback_ns = float(lookback_ns)
+        self.incidents: List[Incident] = []
+        self.overflowed_alerts = 0
+        self._registry = registry
+        if registry is not None:
+            self._opened = registry.counter(names.METRIC_INCIDENTS_OPENED)
+            self._overflowed = registry.counter(names.METRIC_INCIDENTS_OVERFLOWED)
+            recorder = self
+            registry.gauge(
+                names.GAUGE_INCIDENTS_OPEN,
+                fn=lambda: sum(1 for incident in recorder.incidents if incident.open),
+            )
+        else:
+            self._opened = None
+            self._overflowed = None
+
+    # ----------------------------------------------------------------- feeds
+    def on_span(self, span: Span) -> None:
+        """Tracer observer: sees *every* recorded span (pre tail decision)."""
+        name = span.name
+        if name not in _TIMELINE_MARKERS and not name.startswith(_ORDER_PREFIX):
+            return
+        self._span_ring.append(span)
+        for incident in self.incidents:
+            if incident.open:
+                self._append_timeline(incident, self._span_event(span))
+
+    def on_fault(self, kind: str, card: str, now_ns: float, **attrs: Any) -> None:
+        """A fault-domain event: card kill, wedge, upset, port stall."""
+        event = {"t_ns": int(now_ns), "kind": "fault", "fault": kind, "card": card}
+        for key in sorted(attrs):
+            event[key] = _json_safe(attrs[key])
+        self._fault_ring.append(event)
+        for incident in self.incidents:
+            if incident.open:
+                self._append_timeline(incident, dict(event))
+
+    def on_alert(self, alert: Alert, now_ns: int) -> None:
+        """SLO engine hook: open an incident and seed it from the rings."""
+        if len(self.incidents) >= self.max_incidents:
+            self.overflowed_alerts += 1
+            if self._overflowed is not None:
+                self._overflowed.inc()
+            return
+        incident = Incident(len(self.incidents) + 1, alert, now_ns)
+        horizon = now_ns - self.lookback_ns
+        events: List[Dict[str, Any]] = []
+        for fault in self._fault_ring:
+            if fault["t_ns"] >= horizon:
+                events.append(dict(fault))
+        for span in self._span_ring:
+            if span.end_ns >= horizon:
+                events.append(self._span_event(span))
+        events.sort(key=lambda event: (event["t_ns"], event["kind"]))
+        events.append(
+            {
+                "t_ns": now_ns,
+                "kind": "alert",
+                "slo": alert.slo,
+                "burn_fast": round(alert.burn_fast, 6),
+                "burn_slow": round(alert.burn_slow, 6),
+            }
+        )
+        for event in events:
+            self._append_timeline(incident, event)
+        if self._registry is not None:
+            incident._snapshot_at_open = _flatten_snapshot(self._registry.snapshot())
+        self.incidents.append(incident)
+        if self._opened is not None:
+            self._opened.inc()
+
+    def on_resolved(self, alert: Alert, now_ns: int) -> None:
+        """SLO engine hook: close the matching open incident."""
+        for incident in self.incidents:
+            if incident.open and incident.slo == alert.slo and incident.window == alert.window:
+                self._close(incident, now_ns, "resolved")
+                return
+
+    def on_retained_trace(
+        self, trace_id: int, spans: List[Span], reason: str, root: Optional[Span]
+    ) -> None:
+        """Tail-sampler hook: attach overlapping retained traces."""
+        if not spans:
+            return
+        start = min(span.start_ns for span in spans)
+        end = max(span.end_ns for span in spans)
+        summary = {
+            "trace_id": trace_id,
+            "reason": reason,
+            "spans": len(spans),
+            "start_ns": start,
+            "end_ns": end,
+            "root": None if root is None else root.name,
+            "outcome": None
+            if root is None
+            else _json_safe(root.attrs.get("outcome")),
+        }
+        for incident in self.incidents:
+            if len(incident.traces) >= self.max_traces_per_incident:
+                continue
+            window_start = incident.opened_ns - self.lookback_ns
+            window_end = incident.closed_ns
+            if end >= window_start and (window_end is None or start <= window_end):
+                incident.traces.append(dict(summary))
+
+    def flush(self, now_ns: float) -> None:
+        """Close any still-open incidents (end of run)."""
+        for incident in self.incidents:
+            if incident.open:
+                self._close(incident, int(now_ns), "run_end")
+
+    # -------------------------------------------------------------- plumbing
+    def incident_windows(self) -> List[tuple]:
+        """``(opened_ns - lookback, closed_ns | None)`` windows for the
+        tail sampler's incident-overlap retention check."""
+        return [
+            (incident.opened_ns - self.lookback_ns, incident.closed_ns)
+            for incident in self.incidents
+        ]
+
+    def _span_event(self, span: Span) -> Dict[str, Any]:
+        event: Dict[str, Any] = {
+            "t_ns": span.end_ns,
+            "kind": "span",
+            "span": span.name,
+            "trace_id": span.trace_id,
+            "start_ns": span.start_ns,
+        }
+        for key in sorted(span.attrs):
+            event[key] = _json_safe(span.attrs[key])
+        return event
+
+    def _append_timeline(self, incident: Incident, event: Dict[str, Any]) -> None:
+        if len(incident.timeline) >= self.max_timeline_events:
+            incident.dropped_timeline_events += 1
+            return
+        incident.timeline.append(event)
+
+    def _close(self, incident: Incident, now_ns: int, why: str) -> None:
+        incident.closed_ns = now_ns
+        self._append_timeline(incident, {"t_ns": now_ns, "kind": why})
+        if self._registry is not None and incident._snapshot_at_open:
+            after = _flatten_snapshot(self._registry.snapshot())
+            before = incident._snapshot_at_open
+            deltas: Dict[str, float] = {}
+            for key, value in after.items():
+                delta = value - before.get(key, 0.0)
+                if delta:
+                    deltas[key] = round(delta, 6)
+            incident.metric_deltas = deltas
+            incident._snapshot_at_open = {}
+
+    # --------------------------------------------------------------- queries
+    @property
+    def open_incidents(self) -> List[Incident]:
+        return [incident for incident in self.incidents if incident.open]
+
+
+def _flatten_snapshot(snapshot: Dict[str, object]) -> Dict[str, float]:
+    """Reduce a registry snapshot to flat numeric ``name[.label]`` keys."""
+    flat: Dict[str, float] = {}
+    for name, value in snapshot.items():
+        if isinstance(value, dict):
+            for label, sub in value.items():
+                if isinstance(sub, (int, float)):
+                    flat[f"{name}.{label}"] = float(sub)
+        elif isinstance(value, (int, float)):
+            flat[name] = float(value)
+    return flat
+
+
+# ------------------------------------------------------------------- export
+def incidents_json(recorder: FlightRecorder) -> str:
+    """Canonical JSON for the incident list (byte-stable across processes)."""
+    payload = {
+        "incidents": [incident.to_dict() for incident in recorder.incidents],
+        "overflowed_alerts": recorder.overflowed_alerts,
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)
+
+
+def export_incidents(recorder: FlightRecorder, path: str) -> str:
+    """Write the incident JSON next to the Chrome trace; returns the JSON."""
+    text = incidents_json(recorder)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
+
+
+def incidents_fingerprint(recorder: FlightRecorder) -> str:
+    """Short digest of the canonical incident JSON (BENCH / regression)."""
+    return hashlib.sha256(incidents_json(recorder).encode()).hexdigest()[:16]
+
+
+__all__ = [
+    "FlightRecorder",
+    "Incident",
+    "export_incidents",
+    "incidents_fingerprint",
+    "incidents_json",
+]

@@ -160,6 +160,21 @@ GAUGE_BREAKERS_OPEN = "net.breaker.open_now"
 # The observability layer's own accounting.
 GAUGE_SPANS_RECORDED = "obs.spans.recorded"
 GAUGE_SPANS_DROPPED = "obs.spans.dropped"
+# SLO engine / multi-window burn-rate alerting (PR 9).  ``slo.*`` is metric
+# vocabulary only — alerts are records, not spans — and the lint asserts it
+# stays disjoint from the span namespace.
+METRIC_SLO_ALERTS = "slo.alerts"
+METRIC_SLO_ALERTS_BY_SLO = "slo.alerts.by_slo"
+METRIC_SLO_ALERTS_RESOLVED = "slo.alerts.resolved"
+GAUGE_SLO_WORST_BURN = "slo.burn.worst"
+# Incident flight recorder.
+METRIC_INCIDENTS_OPENED = "incident.opened"
+METRIC_INCIDENTS_OVERFLOWED = "incident.overflowed"
+GAUGE_INCIDENTS_OPEN = "incident.open_now"
+# Tail-based trace sampling accounting.
+GAUGE_TAIL_RETAINED = "obs.tail.retained_traces"
+GAUGE_TAIL_DISCARDED = "obs.tail.discarded_traces"
+GAUGE_TAIL_BUDGET_DROPPED = "obs.tail.budget_dropped_traces"
 
 #: The static metric vocabulary (every name a fleet/front door registers).
 METRIC_NAMES = tuple(

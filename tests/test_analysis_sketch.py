@@ -201,3 +201,83 @@ class TestWindowedTimeSeries:
     def test_merge_rejects_mismatched_width(self):
         with pytest.raises(ValueError):
             WindowedTimeSeries(window_ns=10.0).merge(WindowedTimeSeries(window_ns=20.0))
+
+    def test_merge_misaligned_window_boundaries(self):
+        # Same window width but the two streams' events straddle different
+        # boundaries: rows must combine by window *index*, never by event
+        # order, and the straddling row must sum both sides.
+        left = WindowedTimeSeries(window_ns=100.0)
+        right = WindowedTimeSeries(window_ns=100.0)
+        left.record(95.0, 1.0)  # window 0, just before the boundary
+        left.record(205.0, 2.0)  # window 2
+        right.record(105.0, 4.0)  # window 1, just after the boundary
+        right.record(199.0, 8.0)  # window 1, just before the next one
+        right.record(230.0, 16.0)  # window 2, overlaps left's row
+        left.merge(right)
+        assert left.windows() == [
+            (0.0, 1, 1.0),
+            (100.0, 2, 12.0),
+            (200.0, 2, 18.0),
+        ]
+        assert left.total_count == 5
+        assert left.total_value == 31.0
+
+    def test_merge_evicts_down_to_max_windows(self):
+        # Merging a wide series into a narrow ring must evict the *oldest*
+        # rows until the bound holds again, counting every eviction, while
+        # lifetime totals keep the evicted events.
+        narrow = WindowedTimeSeries(window_ns=10.0, max_windows=2)
+        wide = WindowedTimeSeries(window_ns=10.0)
+        narrow.record(0.0, 1.0)
+        for step in range(5):
+            wide.record(step * 10.0, 1.0)
+        narrow.merge(wide)
+        assert len(narrow._windows) == 2
+        assert sorted(narrow._windows) == [3, 4]
+        assert narrow.dropped_windows == 3
+        assert narrow.total_count == 6
+        assert narrow.total_value == 6.0
+
+    def test_merge_empty_into_nonempty_and_back(self):
+        # Empty-into-nonempty is a no-op on the rows; nonempty-into-empty
+        # copies them.  Both must leave the receiver's cache consistent.
+        series = WindowedTimeSeries(window_ns=100.0)
+        series.record(10.0, 2.0)
+        series.merge(WindowedTimeSeries(window_ns=100.0))
+        assert series.windows() == [(0.0, 1, 2.0)]
+        assert series.total_count == 1
+        empty = WindowedTimeSeries(window_ns=100.0)
+        empty.merge(series)
+        assert empty.windows() == series.windows()
+        empty.record(20.0, 3.0)  # cache reset by merge; row must update
+        assert empty._windows[0] == [2.0, 5.0]
+
+    def test_trailing_counts_only_the_horizon_windows(self):
+        series = WindowedTimeSeries(window_ns=100.0)
+        for time_ns, value in ((50.0, 1.0), (150.0, 2.0), (250.0, 4.0)):
+            series.record(time_ns, value)
+        # Horizon of one window at t=260: windows 1 and 2 are in range
+        # (window-granular: the horizon rounds out to whole windows).
+        count, value = series.trailing(260.0, 100.0)
+        assert (count, value) == (2, 6.0)
+        # A horizon spanning everything returns the lifetime totals.
+        assert series.trailing(260.0, 1_000.0) == (3, 7.0)
+
+
+class TestHistogramPercentileEdges:
+    def test_empty_histogram_reports_zero(self):
+        from repro.obs.registry import Histogram
+
+        histogram = Histogram("fleet.sojourn")
+        assert histogram.count == 0
+        assert histogram.percentile(50) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_single_observation_is_every_percentile(self):
+        from repro.obs.registry import Histogram
+
+        histogram = Histogram("fleet.sojourn")
+        histogram.observe(42_000.0)
+        for percentile in (0, 50, 95, 99, 100):
+            assert histogram.percentile(percentile) == 42_000.0
+        assert histogram.mean == 42_000.0

@@ -65,7 +65,9 @@ class TestObservabilityIsFreeWhenOff:
             multi_tenant_trace,
         )
 
-        def run(observability):
+        from repro.obs import SloSpec, TailSampler
+
+        def run(observability, slos=None):
             bank = build_small_bank()
             tenants = default_tenant_mix(bank, tenants=2, skew=1.2)
             trace = multi_tenant_trace(
@@ -82,6 +84,7 @@ class TestObservabilityIsFreeWhenOff:
                 seed=17,
                 gateways=2,
                 uplink=LinkSpec(latency_ns=15_000.0, loss=0.05, jitter_ns=3_000.0),
+                slos=slos,
             )
             frontdoor.add_population(OpenLoopPopulation(trace))
             frontdoor.run()
@@ -90,8 +93,24 @@ class TestObservabilityIsFreeWhenOff:
         baseline = run(None)
         disabled = run(Observability(enabled=False))
         enabled = run(Observability())
+        judged = run(
+            Observability(tail=TailSampler(slow_ns=300_000.0)),
+            slos=[
+                SloSpec.availability(
+                    "net.availability", objective=0.95, source="net", min_events=5
+                ),
+                SloSpec.latency(
+                    "net.latency.p95",
+                    threshold_ns=300_000.0,
+                    objective=0.9,
+                    source="net",
+                    min_events=5,
+                ),
+            ],
+        )
         assert disabled == baseline
         assert enabled == baseline
+        assert judged == baseline
 
 
 class TestCrossProcessTraceDeterminism:
@@ -104,3 +123,54 @@ class TestCrossProcessTraceDeterminism:
         spans, dropped = first.splitlines()[1].split()
         assert int(spans) > 0
         assert int(dropped) == 0
+
+
+_KILL_DRILL_SNIPPET = """
+import json
+import sys
+sys.path.insert(0, "src")
+sys.path.insert(0, ".")
+from examples.ops_console import run_kill_drill
+from repro.obs import incidents_fingerprint, incidents_json
+
+fleet, obs = run_kill_drill(tiny=True)
+print(fleet.stats.schedule_digest())
+print(incidents_fingerprint(obs.recorder))
+print(json.dumps([a.to_dict() for a in obs.alerts], sort_keys=True))
+print(incidents_json(obs.recorder))
+"""
+
+
+class TestKillDrillIncidentDeterminism:
+    """The E10 kill drill's flight record, reproduced byte-for-byte."""
+
+    def test_incident_json_identical_across_processes_and_complete(self):
+        import json
+
+        first = run_snippet(_KILL_DRILL_SNIPPET)
+        second = run_snippet(_KILL_DRILL_SNIPPET)
+        assert first == second
+
+        lines = first.splitlines()
+        alerts = json.loads(lines[2])
+        assert any(a["slo"] == "fleet.availability" for a in alerts)
+
+        record = json.loads("\n".join(lines[3:]))
+        incidents = record["incidents"]
+        assert incidents
+        availability = next(
+            inc for inc in incidents if inc["slo"] == "fleet.availability"
+        )
+        timeline = availability["timeline"]
+        # The kill event, the heal order.* span and at least one
+        # tail-retained failed trace all made it into the flight record.
+        assert any(
+            ev["kind"] == "fault" and ev["fault"] == "kill" for ev in timeline
+        )
+        assert any(
+            ev["kind"] == "span" and ev["span"].startswith("order.heal")
+            for ev in timeline
+        )
+        assert any(
+            trace["reason"] == "error" for trace in availability["traces"]
+        )

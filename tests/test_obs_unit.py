@@ -190,6 +190,30 @@ class TestNamingLint:
         for name in canonical:
             assert names.NAME_RE.match(name), name
 
+    def test_slo_and_incident_vocabulary_is_canonical_and_collision_free(self):
+        # The SLO engine, flight recorder and tail sampler publish under
+        # their own prefixes; all of them must be swept into METRIC_NAMES
+        # (the globals sweep catches new constants automatically), match
+        # the pattern, and never collide with the span namespace.
+        metric_names = set(names.METRIC_NAMES)
+        for expected in (
+            names.METRIC_SLO_ALERTS,
+            names.METRIC_SLO_ALERTS_BY_SLO,
+            names.METRIC_SLO_ALERTS_RESOLVED,
+            names.GAUGE_SLO_WORST_BURN,
+            names.METRIC_INCIDENTS_OPENED,
+            names.METRIC_INCIDENTS_OVERFLOWED,
+            names.GAUGE_INCIDENTS_OPEN,
+            names.GAUGE_TAIL_RETAINED,
+            names.GAUGE_TAIL_DISCARDED,
+            names.GAUGE_TAIL_BUDGET_DROPPED,
+        ):
+            assert expected in metric_names
+            assert names.NAME_RE.match(expected), expected
+        assert any(name.startswith("slo.") for name in metric_names)
+        assert any(name.startswith("incident.") for name in metric_names)
+        assert not metric_names & set(names.SPAN_NAMES)
+
     def test_device_span_names_are_sanitised_into_the_namespace(self):
         name = names.device_span_name("config-module", "reconfigure")
         assert name == "card.config_module.reconfigure"
