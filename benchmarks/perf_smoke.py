@@ -1278,6 +1278,81 @@ def bench_obs(
     }
 
 
+def bench_check(
+    max_schedules: int = 110,
+    max_depth: int = 24,
+    max_branch: int = 3,
+    sampled: int = 10,
+) -> dict:
+    """Model checking: bounded schedule exploration of the control plane.
+
+    Runs ``repro.check``'s DFS over the tiny migrate+scrub+defrag fleet
+    (``max_schedules`` schedules, depth/branch bounded) plus a seeded
+    random sample, asserting the invariant pack after every schedule.  The
+    fingerprint pins the exploration itself — schedule count, distinct
+    outcome digests (1 = the control plane is schedule-insensitive),
+    violation count (must be 0), the tree's depth/branching shape and a
+    digest over every outcome — so any change to kernel tie-break
+    semantics, ready-set gathering or control-plane ordering shows up as a
+    changed exploration, not just a changed default schedule.  The rate
+    field is explored schedules per second (scenario re-execution is the
+    explorer's unit of work).
+    """
+    import hashlib
+
+    from repro.check import Explorer, tiny_scenario_factory
+
+    explorer = Explorer(
+        tiny_scenario_factory(),
+        max_depth=max_depth,
+        max_branch=max_branch,
+        max_schedules=max_schedules,
+    )
+    explorer.run_prefix(())  # warm the bitstream/netlist caches before timing
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        report = explorer.explore()
+        elapsed = time.perf_counter() - start
+        sample = explorer.sample(schedules=sampled, seed=1)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    if report.violations or sample.violations:
+        seeds = [t.seed() for t in report.violations + sample.violations]
+        raise AssertionError(f"invariant violations under schedules {seeds}")
+    for trace in report.highest_branching(3):
+        explorer.replay(trace)  # raises if the recorded digest diverges
+
+    all_traces = report.traces + sample.traces
+    outcome_sha = hashlib.sha256(
+        "\n".join(sorted({t.digest for t in all_traces})).encode()
+    ).hexdigest()[:16]
+    root = report.traces[0]
+    return {
+        "explored": {
+            "schedules": report.schedules_run,
+            "distinct_choice_sequences": len({t.choices for t in report.traces}),
+            "distinct_digests": report.distinct_digests,
+            "violations": len(report.violations),
+            "truncated": report.truncated,
+            "root_depth": root.depth,
+            "root_max_branching": root.max_branching,
+            "outcome_sha": outcome_sha,
+            "schedules_per_s": round(report.schedules_run / elapsed, 1),
+        },
+        "sampled": {
+            "schedules": sample.schedules_run,
+            "distinct_digests": sample.distinct_digests,
+            "violations": len(sample.violations),
+            "max_depth_reached": max(t.depth for t in sample.traces),
+        },
+    }
+
+
 def _warm_up(seconds: float = 0.3) -> None:
     """Spin briefly so frequency governors reach steady state before timing."""
     deadline = time.perf_counter() + seconds
@@ -1297,6 +1372,7 @@ SECTIONS = {
     "scale": (bench_scale, "BENCH_scale.json"),
     "net": (bench_net, "BENCH_net.json"),
     "obs": (bench_obs, "BENCH_obs.json"),
+    "check": (bench_check, "BENCH_check.json"),
 }
 
 #: per-section baseline keys absent from a ``--tiny`` run (pruned before

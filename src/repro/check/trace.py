@@ -1,0 +1,91 @@
+"""Replayable schedule traces.
+
+A :class:`ScheduleTrace` is the compact, serialisable record of one explored
+schedule: the choice index taken at every tie-break point, the ready-set
+width observed there (so an explorer can enumerate untaken siblings), and
+the fleet's completion-stream digest under that schedule.  The whole point
+is that ``choices`` alone pins the schedule — re-running the same scenario
+under ``ScriptedPolicy(trace.choices)`` reproduces the run event-for-event —
+so a violating trace *is* the regression seed: paste ``trace.seed()`` into a
+test, replay, assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ScheduleTrace:
+    """One explored schedule of a scenario, replayable from ``choices``."""
+
+    #: Chosen ready-set index at each tie-break point, in dispatch order.
+    choices: Tuple[int, ...]
+    #: Ready-set width at each tie-break point (``branching[i] - 1`` siblings
+    #: of ``choices[i]`` remain unexplored at point ``i``).
+    branching: Tuple[int, ...] = ()
+    #: Completion-stream digest of the fleet run under this schedule.
+    digest: str = ""
+    #: Invariant violations observed under this schedule (empty = clean).
+    violations: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.branching) not in (0, len(self.choices)):
+            raise ValueError("branching must be empty or parallel to choices")
+        for point, (index, width) in enumerate(zip(self.choices, self.branching)):
+            if not 0 <= index < width:
+                raise ValueError(
+                    f"choice point {point}: index {index} out of range for "
+                    f"ready-set width {width}"
+                )
+
+    @property
+    def depth(self) -> int:
+        """Number of tie-break points this schedule passed through."""
+        return len(self.choices)
+
+    @property
+    def max_branching(self) -> int:
+        """Widest ready set seen (1 when the schedule had no tie-breaks)."""
+        return max(self.branching) if self.branching else 1
+
+    def seed(self) -> str:
+        """Compact one-line regression seed, e.g. ``"0.2.1"`` (``""`` = root).
+
+        Only the choices are encoded: branching and digest are recomputed on
+        replay, which is exactly the check a regression test wants to make.
+        """
+        return ".".join(str(index) for index in self.choices)
+
+    @classmethod
+    def from_seed(cls, seed: str) -> "ScheduleTrace":
+        """Parse a :meth:`seed` string back into a (choices-only) trace."""
+        text = seed.strip()
+        choices = tuple(int(part) for part in text.split(".")) if text else ()
+        if any(index < 0 for index in choices):
+            raise ValueError(f"negative choice index in seed {seed!r}")
+        return cls(choices=choices)
+
+    def to_json(self) -> str:
+        """Full serialisation (choices + branching + digest + violations)."""
+        return json.dumps(
+            {
+                "choices": list(self.choices),
+                "branching": list(self.branching),
+                "digest": self.digest,
+                "violations": list(self.violations),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleTrace":
+        payload = json.loads(text)
+        return cls(
+            choices=tuple(payload["choices"]),
+            branching=tuple(payload.get("branching", ())),
+            digest=payload.get("digest", ""),
+            violations=tuple(payload.get("violations", ())),
+        )

@@ -1222,7 +1222,7 @@ class Fleet:
             min_frame_skew=min_frame_skew,
             max_orders_per_cycle=max_orders_per_cycle,
             keep_resident=keep_resident,
-            cooldown_ns=10.0 * period_ns if cooldown_ns is None else cooldown_ns,
+            cooldown_ns=int(10 * period_ns) if cooldown_ns is None else cooldown_ns,
         )
         self.rebalance_period_ns = period_ns
         self.add_service("fleet-rebalance", self._rebalance_service)

@@ -34,6 +34,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.cluster.fleet import Fleet, FleetCard
 
 
+def _coerce_cooldown_ns(cooldown_ns) -> int:
+    """Validate and coerce a cooldown to integer nanoseconds.
+
+    The cluster layer standardized durations on int ns; an integral float
+    (the historical default was ``1_000_000.0``, and ``enable_rebalancing``
+    derives its default from a float period) is coerced, anything
+    fractional or negative is rejected.
+    """
+    if isinstance(cooldown_ns, bool) or not isinstance(cooldown_ns, (int, float)):
+        raise TypeError(f"cooldown_ns must be a number, got {cooldown_ns!r}")
+    if cooldown_ns < 0:
+        raise ValueError("the migration cooldown cannot be negative")
+    as_int = int(cooldown_ns)
+    if as_int != cooldown_ns:
+        raise ValueError(
+            f"cooldown_ns must be integral nanoseconds, got {cooldown_ns!r}"
+        )
+    return as_int
+
+
 @dataclass(frozen=True)
 class MigrationOrder:
     """One planned migration: move *function* from *source* to *dest*."""
@@ -64,7 +84,10 @@ class Rebalancer:
     cooldown_ns:
         Minimum fleet time between two migrations of the *same* function —
         the anti-thrash guard that stops a function ping-ponging between two
-        cards whose queues trade places every period.
+        cards whose queues trade places every period.  Integer nanoseconds
+        (an integral float is accepted and coerced; fractional values are
+        rejected — durations standardized on int ns in the observability
+        layer).
     """
 
     def __init__(
@@ -73,7 +96,7 @@ class Rebalancer:
         min_frame_skew: int = 4,
         max_orders_per_cycle: int = 2,
         keep_resident: int = 1,
-        cooldown_ns: float = 1_000_000.0,
+        cooldown_ns: int = 1_000_000,
     ) -> None:
         if min_queue_skew < 1 or min_frame_skew < 1:
             raise ValueError("skew thresholds must be at least 1")
@@ -81,13 +104,11 @@ class Rebalancer:
             raise ValueError("a rebalance cycle must be able to order one migration")
         if keep_resident < 0:
             raise ValueError("keep_resident cannot be negative")
-        if cooldown_ns < 0:
-            raise ValueError("the migration cooldown cannot be negative")
         self.min_queue_skew = min_queue_skew
         self.min_frame_skew = min_frame_skew
         self.max_orders_per_cycle = max_orders_per_cycle
         self.keep_resident = keep_resident
-        self.cooldown_ns = cooldown_ns
+        self.cooldown_ns = _coerce_cooldown_ns(cooldown_ns)
         self.cycles = 0
         self.orders_planned = 0
         self._last_ordered: dict = {}

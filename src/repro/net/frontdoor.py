@@ -44,7 +44,7 @@ class FrontDoor:
         admission: Optional[AdmissionConfig] = None,
         priorities: Optional[Dict[str, int]] = None,
         deadline_ns: Optional[float] = None,
-        probe_period_ns: float = 1_000_000.0,
+        probe_period_ns: int = 1_000_000,
     ) -> None:
         if gateways < 1:
             raise ValueError("a front door needs at least one gateway")

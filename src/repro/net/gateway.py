@@ -88,7 +88,7 @@ class Gateway:
         fleet: "Fleet",
         downlink: Link,
         admission: Optional[AdmissionConfig] = None,
-        probe_period_ns: float = 1_000_000.0,
+        probe_period_ns: int = 1_000_000,
     ) -> None:
         if probe_period_ns <= 0:
             raise ValueError("probe period must be positive")

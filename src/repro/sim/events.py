@@ -239,6 +239,63 @@ class EventQueue:
                 heap[0] = replacement
             return wrapped
 
+    def pop_ready_entries(self) -> List[tuple]:
+        """Remove and return the whole ready set at the earliest key.
+
+        The ready set is every live entry whose ``(time, priority)`` equals
+        the minimum across both tiers, returned sorted by sequence number —
+        index 0 is the entry :meth:`pop_entry` would have returned.  This is
+        the schedule-exploration hook: with a
+        :class:`~repro.sim.schedule.SchedulePolicy` installed, the kernel
+        gathers the ready set here, dispatches the policy's pick, and pushes
+        the rest back via :meth:`push_entry`.
+
+        Cancelled events encountered while gathering are dropped and their
+        live count settled; the returned entries remain *counted* (callers
+        dispatch or push back every one of them).  Returns ``[]`` when the
+        queue holds no live entries.
+        """
+        heap = self._heap
+        fifo = self._fifo
+        ready: List[tuple] = []
+        key: Optional[tuple] = None
+        while True:
+            if heap:
+                use_fifo = bool(fifo) and fifo[0] < heap[0]
+                entry = fifo[0] if use_fifo else heap[0]
+            elif fifo:
+                use_fifo = True
+                entry = fifo[0]
+            else:
+                break
+            if key is not None and (entry[0], entry[1]) != key:
+                break
+            fifo.popleft() if use_fifo else heapq.heappop(heap)
+            event = entry[3]
+            if event is not None and event.cancelled:
+                if not event.live_discounted:
+                    event.live_discounted = True
+                    self._live -= 1
+                continue
+            if key is None:
+                key = (entry[0], entry[1])
+            ready.append(entry)
+        # Both tiers are sorted by the full (time, priority, seq) key, so the
+        # gathered set arrives as a merge of two seq-sorted runs; sort by seq
+        # to present one canonical order to the policy.
+        ready.sort(key=lambda e: e[2])
+        return ready
+
+    def push_entry(self, entry: tuple) -> None:
+        """Re-queue an entry previously removed by :meth:`pop_ready_entries`.
+
+        Always goes to the heap tier: a pushed-back entry's sequence number
+        is *older* than anything appended to the FIFO afterwards, so the
+        FIFO's sorted-append invariant would not survive it.  The live count
+        is untouched — the entry was never discounted.
+        """
+        heapq.heappush(self._heap, entry)
+
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event (lazily removed).
 

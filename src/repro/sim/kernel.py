@@ -22,6 +22,7 @@ from typing import Any, Deque, Generator, List, Optional
 
 from repro.sim.clock import Clock
 from repro.sim.events import EventQueue
+from repro.sim.schedule import SchedulePolicy
 
 
 class SimulationError(RuntimeError):
@@ -210,11 +211,21 @@ class Simulator:
     same deterministic schedule.
     """
 
+    #: Upper bound on synchronous ``eager_get`` grant chains within one
+    #: dispatch.  A self-feeding process (``get`` from a store it also
+    #: ``put``s back into) would otherwise spin forever *inside* ``_step``,
+    #: invisible to ``run``'s ``max_events`` bound because synchronous
+    #: grants are continuations, not dispatches.  Class attribute so tests
+    #: can tighten it; generous enough that no legitimate drain (bounded by
+    #: queued items plus puts from downstream work) ever trips it.
+    eager_chain_limit = 1_000_000
+
     def __init__(
         self,
         clock: Optional[Clock] = None,
         trace_enabled: bool = False,
         eager_get: bool = False,
+        schedule_policy: Optional[SchedulePolicy] = None,
     ) -> None:
         self.clock = clock if clock is not None else Clock()
         self.queue = EventQueue()
@@ -230,9 +241,15 @@ class Simulator:
         #: byte-identical; the million-request scale benchmarks turn it on.
         #: Synchronous grants do not count against ``run``'s ``max_events``
         #: (they are continuations of the current dispatch, not new events);
-        #: a process can only chain as many grants as there are items
-        #: already queued, so the cap still bounds every schedule loop.
+        #: ``eager_chain_limit`` bounds the chain instead, because a process
+        #: that feeds its own store can otherwise loop forever inside one
+        #: dispatch where ``max_events`` never sees it.
         self.eager_get = eager_get
+        #: Optional tie-break strategy for same-``(time, priority)`` ready
+        #: sets.  ``None`` (the default) keeps the original merged-head
+        #: dispatch loop byte-identical; installing a policy routes ``run``
+        #: through the ready-set gather path in :meth:`_run_policy`.
+        self.schedule_policy = schedule_policy
         self.events_dispatched = 0
         # Hot-path bindings: one bound method shared by every continuation
         # (binding per schedule would allocate), plus direct references to
@@ -307,6 +324,8 @@ class Simulator:
         :class:`SimulationError` deterministically, which is what stops a
         runaway zero-delay process loop from spinning forever.
         """
+        if self.schedule_policy is not None:
+            return self._run_policy(until_ns, max_events)
         queue = self.queue
         heap = queue._heap
         fifo = queue._fifo
@@ -371,6 +390,79 @@ class Simulator:
             clock.advance_to(until_ns)
         return clock.now
 
+    def _run_policy(self, until_ns: Optional[float], max_events: int) -> float:
+        """The ready-set dispatch loop used when a schedule policy is set.
+
+        Semantically identical to :meth:`run` except for the tie-break: at
+        every step the whole same-``(time, priority)`` ready set is gathered
+        (:meth:`EventQueue.pop_ready_entries`), the policy picks one entry,
+        and the rest are pushed back onto the heap tier.  Accounting matches
+        the default loop exactly — cancelled events never count, horizon
+        pauses peek before popping, and each dispatched entry counts once
+        against ``max_events`` regardless of which permutation the policy
+        chooses.  A choice point only exists when the ready set has >= 2
+        entries, so a policy that always answers 0 reproduces the default
+        schedule byte-for-byte.
+        """
+        queue = self.queue
+        heap = queue._heap
+        fifo = queue._fifo
+        clock = self.clock
+        policy = self.schedule_policy
+        limit = float("inf") if until_ns is None else until_ns
+        dispatched = 0
+        try:
+            while True:
+                # Horizon check on the raw head (cancelled or not) before
+                # anything is popped, mirroring run()'s peek-before-pop.
+                if heap:
+                    head = heap[0]
+                    if fifo and fifo[0] < head:
+                        head = fifo[0]
+                elif fifo:
+                    head = fifo[0]
+                else:
+                    break
+                if head[0] > limit:
+                    clock.advance_to(until_ns)
+                    return clock.now
+                ready = queue.pop_ready_entries()
+                if not ready:
+                    # Every entry at the earliest key was cancelled; their
+                    # live counts are already settled, nothing dispatched.
+                    continue
+                index = policy.choose(ready) if len(ready) > 1 else 0
+                entry = ready[index]
+                for position, other in enumerate(ready):
+                    if position != index:
+                        queue.push_entry(other)
+                time_ns = entry[0]
+                event = entry[3]
+                if event is not None:
+                    event.live_discounted = True  # count settled at dispatch
+                queue._live -= 1
+                if time_ns > clock._now:
+                    previous = clock._now
+                    clock._now = time_ns
+                    if clock._observers:
+                        for observer in clock._observers:
+                            observer(previous, time_ns)
+                if event is None:
+                    fn = entry[4]
+                    fn(entry[5], entry[6])
+                else:
+                    event.fire()
+                dispatched += 1
+                if dispatched > max_events:
+                    raise SimulationError(
+                        f"dispatched more than {max_events} events; possible livelock"
+                    )
+        finally:
+            self.events_dispatched += dispatched
+        if until_ns is not None and until_ns > clock.now:
+            clock.advance_to(until_ns)
+        return clock.now
+
     # ------------------------------------------------------------- stepping
     def _step(self, process: Process, send_value: Any) -> None:
         """Resume *process* with *send_value* and handle what it yields.
@@ -380,6 +472,7 @@ class Simulator:
         """
         if process.finished:
             return
+        chained = 0
         while True:
             try:
                 yielded = process.generator.send(send_value)
@@ -421,6 +514,16 @@ class Simulator:
                 items = store._items
                 if items:
                     if self.eager_get:
+                        # Bound the synchronous chain: a process feeding its
+                        # own store would otherwise spin here forever without
+                        # consuming any of run()'s max_events budget.
+                        chained += 1
+                        if chained > self.eager_chain_limit:
+                            raise SimulationError(
+                                f"process {process.name!r} chained more than "
+                                f"{self.eager_chain_limit} synchronous store "
+                                f"grants; possible self-feeding livelock"
+                            )
                         send_value = items.popleft()
                         continue
                     self._fifo.append(

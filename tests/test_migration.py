@@ -403,6 +403,32 @@ class TestFleetRebalancing:
         with pytest.raises(ValueError):
             fleet.enable_rebalancing(0.0)
 
+    def test_rebalancer_cooldown_is_coerced_to_int_ns(self):
+        from repro.cluster.rebalance import Rebalancer
+
+        # Default and integral-float cooldowns land as ints.
+        assert Rebalancer().cooldown_ns == 1_000_000
+        assert isinstance(Rebalancer().cooldown_ns, int)
+        coerced = Rebalancer(cooldown_ns=250_000.0)
+        assert coerced.cooldown_ns == 250_000
+        assert isinstance(coerced.cooldown_ns, int)
+        assert Rebalancer(cooldown_ns=0).cooldown_ns == 0
+        # Fractional, negative and non-numeric cooldowns are rejected.
+        with pytest.raises(ValueError):
+            Rebalancer(cooldown_ns=1000.5)
+        with pytest.raises(ValueError):
+            Rebalancer(cooldown_ns=-1)
+        with pytest.raises(TypeError):
+            Rebalancer(cooldown_ns="soon")
+        with pytest.raises(TypeError):
+            Rebalancer(cooldown_ns=True)
+
+    def test_enable_rebalancing_default_cooldown_is_int_ten_periods(self, small_bank):
+        fleet = build_fleet(cards=2, config=SMALL_CONFIG, bank=small_bank)
+        rebalancer = fleet.enable_rebalancing(40_000.0)
+        assert rebalancer.cooldown_ns == 400_000
+        assert isinstance(rebalancer.cooldown_ns, int)
+
     def test_rebalancer_plans_nothing_on_a_balanced_fleet(self, small_bank):
         fleet = build_fleet(
             cards=2,

@@ -140,6 +140,33 @@ class TestSectionsRunTiny:
         assert sharded["completed"] + sharded["rejected"] == sharded["requests"]
         assert sharded["epochs"] >= 1
 
+    def test_check_section_tiny(self):
+        results = perf_smoke.bench_check(
+            max_schedules=12, max_depth=6, max_branch=2, sampled=3
+        )
+        assert set(results) == {"explored", "sampled"}
+        explored = results["explored"]
+        assert explored["schedules"] == 12
+        assert explored["distinct_choice_sequences"] == 12
+        assert explored["violations"] == 0
+        assert explored["schedules_per_s"] > 0
+        assert explored["root_max_branching"] >= 2
+        assert len(explored["outcome_sha"]) == 16
+        sampled = results["sampled"]
+        assert sampled["schedules"] == 3
+        assert sampled["violations"] == 0
+        assert sampled["max_depth_reached"] > 0
+
+    def test_check_fingerprints_are_deterministic(self):
+        first = perf_smoke.bench_check(
+            max_schedules=8, max_depth=6, max_branch=2, sampled=2
+        )
+        second = perf_smoke.bench_check(
+            max_schedules=8, max_depth=6, max_branch=2, sampled=2
+        )
+        for key in ("distinct_digests", "outcome_sha", "root_depth", "root_max_branching"):
+            assert first["explored"][key] == second["explored"][key], key
+
     def test_rebalance_fingerprints_are_deterministic(self):
         first = perf_smoke.bench_rebalance(
             fleet_cards=2, fleet_trace_length=16, defrag_cycles=2

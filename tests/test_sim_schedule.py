@@ -1,0 +1,239 @@
+"""Schedule policies and the kernel's ready-set dispatch path.
+
+Covers the SchedulePolicy contract (recording, scripting, divergence,
+seeded randomness), byte-identity of the policy path against the default
+merged-head loop, genuine permutation of conflicting same-instant events,
+``max_events`` / ``until_ns`` accounting parity under permuted ready sets,
+and the eager-get synchronous-grant chain bound.
+"""
+
+import pytest
+
+from repro.sim.kernel import Simulator, SimulationError, StoreGet, Timeout
+from repro.sim.schedule import (
+    RandomTieBreakPolicy,
+    ScheduleDivergenceError,
+    SchedulePolicy,
+    ScriptedPolicy,
+)
+
+
+def _conflict_scenario(policy, producers=2):
+    """Two same-instant puts to one store: order is policy-observable."""
+    sim = Simulator(schedule_policy=policy)
+    store = sim.store("shared")
+    log = []
+
+    def producer(tag):
+        yield Timeout(10.0)
+        store.put(tag)
+
+    def consumer():
+        for _ in range(producers):
+            item = yield StoreGet(store)
+            log.append(item)
+
+    for index in range(producers):
+        sim.spawn(producer(chr(ord("a") + index)), name=f"p{index}")
+    sim.spawn(consumer(), name="consumer")
+    sim.run()
+    return sim, log
+
+
+class TestPolicyObjects:
+    def test_base_policy_always_picks_zero(self):
+        policy = SchedulePolicy()
+        assert policy.choose([(0,), (1,), (2,)]) == 0
+        assert policy.choices == [] and policy.branching == []
+
+    def test_scripted_policy_records_choices_and_branching(self):
+        policy = ScriptedPolicy((1,))
+        ready = [(0, 0, i) for i in range(3)]
+        assert policy.choose(ready) == 1
+        assert policy.choose(ready[:2]) == 0  # past the prefix: default
+        assert policy.choices == [1, 0]
+        assert policy.branching == [3, 2]
+
+    def test_scripted_policy_rejects_negative_prefix(self):
+        with pytest.raises(ValueError):
+            ScriptedPolicy((0, -1))
+
+    def test_scripted_policy_raises_on_divergence(self):
+        policy = ScriptedPolicy((5,))
+        with pytest.raises(ScheduleDivergenceError):
+            policy.choose([(0,), (1,)])
+
+    def test_random_policy_is_seed_deterministic_and_resettable(self):
+        ready = [(0, 0, i) for i in range(4)]
+        first = RandomTieBreakPolicy(seed=42)
+        picks = [first.choose(ready) for _ in range(8)]
+        again = RandomTieBreakPolicy(seed=42)
+        assert [again.choose(ready) for _ in range(8)] == picks
+        first.reset()
+        assert first.choices == [] and first.branching == []
+        assert [first.choose(ready) for _ in range(8)] == picks
+
+    def test_policy_reset_clears_recordings(self):
+        policy = ScriptedPolicy((1,))
+        policy.choose([(0,), (1,)])
+        policy.reset()
+        assert policy.choices == [] and policy.branching == []
+
+
+class TestPolicyDispatchPath:
+    def test_default_policy_matches_no_policy_byte_for_byte(self):
+        _, base_log = _conflict_scenario(None, producers=3)
+        sim_scripted, scripted_log = _conflict_scenario(ScriptedPolicy(()), producers=3)
+        sim_plain, _ = _conflict_scenario(None, producers=3)
+        assert scripted_log == base_log
+        assert sim_scripted.events_dispatched == sim_plain.events_dispatched
+        assert sim_scripted.clock.now == sim_plain.clock.now
+
+    def test_permuted_choice_flips_observable_order(self):
+        _, default_order = _conflict_scenario(ScriptedPolicy(()))
+        _, flipped_order = _conflict_scenario(ScriptedPolicy((1,)))
+        assert default_order == ["a", "b"]
+        assert flipped_order == ["b", "a"]
+
+    def test_choice_points_cascade_through_the_ready_set(self):
+        policy = ScriptedPolicy(())
+        _conflict_scenario(policy, producers=3)
+        # The t=0 spawn burst is a 4-wide ready set (3 producers + consumer)
+        # which shrinks by one per dispatch; singleton sets never consult
+        # the policy.
+        assert policy.branching[:3] == [4, 3, 2]
+
+    def test_permutation_preserves_dispatch_count(self):
+        sims = [
+            _conflict_scenario(policy, producers=3)[0]
+            for policy in (None, ScriptedPolicy((2, 1)), RandomTieBreakPolicy(7))
+        ]
+        counts = {sim.events_dispatched for sim in sims}
+        assert len(counts) == 1
+
+    def test_max_events_bound_enforced_identically_under_policy(self):
+        def spinner(sim):
+            while True:
+                yield Timeout(0.0)
+
+        for policy in (None, ScriptedPolicy(()), RandomTieBreakPolicy(3)):
+            sim = Simulator(schedule_policy=policy)
+            sim.spawn(spinner(sim), name="spin")
+            with pytest.raises(SimulationError):
+                sim.run(max_events=50)
+            # The bound dispatches exactly max_events + 1 before raising,
+            # policy or not.
+            assert sim.events_dispatched == 51
+
+    def test_until_ns_pauses_before_popping_under_policy(self):
+        ticks = []
+
+        def ticker():
+            while True:
+                yield Timeout(100.0)
+                ticks.append(1)
+
+        sim = Simulator(schedule_policy=ScriptedPolicy(()))
+        sim.spawn(ticker(), name="ticker")
+        now = sim.run(until_ns=250.0)
+        assert now == 250.0
+        assert sim.clock.now == 250.0
+        assert len(ticks) == 2
+        # The paused head is intact: resuming picks up the 300ns tick.
+        sim.run(until_ns=300.0)
+        assert len(ticks) == 3
+
+    def test_policy_run_drains_to_empty_and_advances_to_horizon(self):
+        sim = Simulator(schedule_policy=ScriptedPolicy(()))
+
+        def once():
+            yield Timeout(5.0)
+
+        sim.spawn(once(), name="once")
+        now = sim.run(until_ns=50.0)
+        assert now == 50.0
+
+    def test_cancelled_events_do_not_count_under_policy(self):
+        for policy in (None, ScriptedPolicy(())):
+            sim = Simulator(schedule_policy=policy)
+            fired = []
+            keep = sim.queue.schedule(10.0, name="keep", callback=lambda e: fired.append("keep"))
+            drop = sim.queue.schedule(10.0, name="drop", callback=lambda e: fired.append("drop"))
+            sim.queue.cancel(drop)
+            sim.run()
+            assert fired == ["keep"]
+            assert sim.events_dispatched == 1
+            assert keep.live_discounted
+
+
+class TestEagerChainBound:
+    def test_self_feeding_eager_loop_is_bounded(self, monkeypatch):
+        sim = Simulator(eager_get=True)
+        monkeypatch.setattr(Simulator, "eager_chain_limit", 100)
+        store = sim.store("loop")
+        store.put("token")
+
+        def feeder():
+            while True:
+                item = yield StoreGet(store)
+                store.put(item)  # feeds itself: the store never drains
+
+        sim.spawn(feeder(), name="feeder")
+        with pytest.raises(SimulationError, match="self-feeding"):
+            sim.run(max_events=1_000)
+
+    def test_legitimate_eager_drain_stays_unbounded(self):
+        sim = Simulator(eager_get=True)
+        store = sim.store("queue")
+        for index in range(500):
+            store.put(index)
+        seen = []
+
+        def drainer():
+            for _ in range(500):
+                item = yield StoreGet(store)
+                seen.append(item)
+
+        sim.spawn(drainer(), name="drainer")
+        sim.run()
+        assert seen == list(range(500))
+
+
+class TestReadySetQueueApi:
+    def test_pop_ready_entries_gathers_only_the_minimal_key(self):
+        sim = Simulator()
+
+        def sleeper():
+            yield Timeout(1.0)
+
+        sim.spawn(sleeper(), name="a")
+        sim.spawn(sleeper(), name="b")
+        sim.spawn(sleeper(), name="later", delay_ns=5.0)
+        ready = sim.queue.pop_ready_entries()
+        assert len(ready) == 2  # the two t=0 starts; the t=5 start stays
+        assert len(sim.queue) == 3  # returned entries remain counted
+
+    def test_pop_ready_entries_orders_by_sequence(self):
+        sim = Simulator()
+        for index in range(4):
+            sim.queue.schedule_call(10.0, lambda a, b: None, index, None)
+        ready = sim.queue.pop_ready_entries()
+        assert [entry[2] for entry in ready] == sorted(entry[2] for entry in ready)
+        assert len(ready) == 4
+
+    def test_pop_ready_entries_skips_cancelled_and_settles_counts(self):
+        sim = Simulator()
+        queue = sim.queue
+        kept = queue.schedule(10.0, name="kept")
+        dropped = queue.schedule(10.0, name="dropped")
+        dropped.cancel()
+        ready = queue.pop_ready_entries()
+        assert [entry[3] for entry in ready] == [kept]
+        assert len(queue) == 1  # returned entries stay counted
+        queue.push_entry(ready[0])
+        assert queue.pop_entry()[3] is kept
+        assert len(queue) == 0
+
+    def test_pop_ready_entries_empty_queue(self):
+        sim = Simulator()
+        assert sim.queue.pop_ready_entries() == []
